@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints the Table I parameter block, then the series of the
+// figure it reproduces as aligned text tables, and writes a CSV next to the
+// binary (./<name>.csv) for plotting.
+#pragma once
+
+#include <iostream>
+#include <cstdio>
+#include <string>
+
+#include "models/paper_params.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace nvsram::bench {
+
+inline void print_header(const std::string& figure, const std::string& claim) {
+  std::cout << "================================================================\n"
+            << "Reproduction: " << figure << "\n"
+            << "Paper claim:  " << claim << "\n"
+            << "================================================================\n"
+            << models::PaperParams::table1().describe() << "\n";
+}
+
+inline void print_footer(const std::string& csv_path) {
+  std::cout << "\n[series written to " << csv_path << "]\n";
+}
+
+// Fixed-point ratio like "1.46x" (si_format would pick odd milli prefixes).
+inline std::string ratio_fmt(double r, int digits = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*fx", digits, r);
+  return buf;
+}
+
+}  // namespace nvsram::bench

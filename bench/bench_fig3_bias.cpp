@@ -1,0 +1,66 @@
+// Fig. 3 reproduction: bias design curves of the NV-SRAM cell.
+//   (a) normal-mode leakage I_L^NV vs V_CTRL, with the 6T baseline I_L^V
+//   (b) H-store current |I_MTJ^{P->AP}| vs V_SR
+//   (c) L-store current I_MTJ^{AP->P} vs V_CTRL at the optimized V_SR
+#include <iostream>
+
+#include "bench_common.h"
+#include "sram/characterize.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Fig. 3 — leakage control and store-current margins",
+      "V_CTRL ~ 0.07 V matches 6T leakage; V_SR = 0.65 V / V_CTRL = 0.5 V "
+      "deliver the 1.5 x Ic store margin");
+
+  const auto pp = models::PaperParams::table1();
+  sram::CellCharacterizer ch(pp);
+  const double ic = pp.mtj.critical_current();
+  const double target = pp.store_current_factor * ic;
+
+  // ---- (a) leakage vs V_CTRL ----
+  util::print_banner(std::cout, "Fig. 3(a): I_L vs V_CTRL (normal mode)");
+  const auto vctrl_grid = util::linspace(0.0, 0.5, 11);
+  const auto sweep = ch.leakage_vs_vctrl(vctrl_grid);
+  util::TablePrinter t3a({"V_CTRL", "I_L^NV", "I_L^NV / I_L^V"});
+  util::CsvWriter csv3a("bench_fig3a.csv", {"vctrl", "i_nv", "i_6t"});
+  for (const auto& p : sweep.points) {
+    t3a.row({util::si_format(p.vctrl, "V", 2), util::si_format(p.current_nv, "A"),
+             util::si_format(p.current_nv / sweep.current_6t, "", 3)});
+    csv3a.row({p.vctrl, p.current_nv, sweep.current_6t});
+  }
+  t3a.print(std::cout);
+  std::cout << "6T baseline I_L^V = " << util::si_format(sweep.current_6t, "A")
+            << "\n";
+
+  // ---- (b) H-store current vs V_SR ----
+  util::print_banner(std::cout, "Fig. 3(b): |I_MTJ^{P->AP}| vs V_SR (H-store)");
+  std::cout << "Ic = " << util::si_format(ic, "A") << ", design margin 1.5 x Ic = "
+            << util::si_format(target, "A") << "\n";
+  util::TablePrinter t3b({"V_SR", "|I_MTJ|", "I / Ic"});
+  util::CsvWriter csv3b("bench_fig3b.csv", {"vsr", "i_mtj", "ic"});
+  for (const auto& [v, i] : ch.store_current_vs_vsr(util::linspace(0.2, 0.9, 15))) {
+    t3b.row({util::si_format(v, "V", 2), util::si_format(i, "A"),
+             bench::ratio_fmt(i / ic)});
+    csv3b.row({v, i, ic});
+  }
+  t3b.print(std::cout);
+
+  // ---- (c) L-store current vs V_CTRL ----
+  util::print_banner(std::cout,
+                     "Fig. 3(c): I_MTJ^{AP->P} vs V_CTRL (L-store, V_SR = 0.65 V)");
+  util::TablePrinter t3c({"V_CTRL", "I_MTJ", "I / Ic"});
+  util::CsvWriter csv3c("bench_fig3c.csv", {"vctrl", "i_mtj", "ic"});
+  for (const auto& [v, i] :
+       ch.store_current_vs_vctrl(util::linspace(0.1, 0.7, 13))) {
+    t3c.row({util::si_format(v, "V", 2), util::si_format(i, "A"),
+             bench::ratio_fmt(i / ic)});
+    csv3c.row({v, i, ic});
+  }
+  t3c.print(std::cout);
+
+  bench::print_footer("bench_fig3{a,b,c}.csv");
+  return 0;
+}

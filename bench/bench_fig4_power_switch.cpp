@@ -1,0 +1,30 @@
+// Fig. 4 reproduction: virtual-VDD voltage vs the power-switch fin count
+// N_FSW, during the normal operation and store operation modes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sram/characterize.h"
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Fig. 4 — VV_DD vs power-switch fin number N_FSW",
+      "store-mode droop shrinks with N_FSW; N_FSW = 7 keeps VV_DD at ~97% of "
+      "VDD so the hypothetical switch does not mask the architecture study");
+
+  const auto pp = models::PaperParams::table1();
+  sram::CellCharacterizer ch(pp);
+  const auto points = ch.vvdd_vs_switch_fins({1, 2, 3, 4, 5, 6, 7, 8, 10, 12});
+
+  util::TablePrinter t({"N_FSW", "VVDD (normal)", "VVDD (store)", "store %VDD"});
+  util::CsvWriter csv("bench_fig4.csv", {"fins", "vvdd_normal", "vvdd_store"});
+  for (const auto& p : points) {
+    t.row({std::to_string(p.fins), util::si_format(p.vvdd_normal, "V"),
+           util::si_format(p.vvdd_store, "V"),
+           util::si_format(100.0 * p.vvdd_store / pp.vdd, "%", 1)});
+    csv.row({static_cast<double>(p.fins), p.vvdd_normal, p.vvdd_store});
+  }
+  t.print(std::cout);
+  bench::print_footer("bench_fig4.csv");
+  return 0;
+}

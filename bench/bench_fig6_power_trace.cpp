@@ -1,0 +1,99 @@
+// Fig. 6 reproduction:
+//   (a,b) time evolution of power for the 6T cell (OSR sequence) and the
+//         NV-SRAM cell (NVPG and NOF sequences), showing the NOF cycle-time
+//         stretch, and
+//   (c)   static power per mode (normal / sleep / shutdown with super
+//         cutoff) for both cells.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "sram/testbench.h"
+
+namespace {
+
+using namespace nvsram;
+
+// Runs a compressed benchmark sequence and prints per-phase average power.
+void trace(const char* title, sram::CellKind kind, bool nvpg_sequence,
+           const std::string& csv_path) {
+  const auto pp = models::PaperParams::table1();
+  sram::CellTestbench tb(kind, pp);
+
+  // Two read/write iterations with a short sleep, then (NV only) store ->
+  // shutdown -> restore; OSR sleeps instead.
+  tb.op_write(true);
+  tb.op_read();
+  tb.op_write(false);
+  tb.op_read();
+  tb.op_sleep(50e-9);
+  if (kind == sram::CellKind::kNvSram && nvpg_sequence) {
+    tb.op_store();
+    tb.op_shutdown(500e-9);
+    tb.op_restore();
+    tb.op_idle(2e-9);
+  } else {
+    tb.op_sleep(500e-9);
+    tb.op_idle(2e-9);
+  }
+  auto res = tb.run();
+
+  util::print_banner(std::cout, title);
+  util::TablePrinter t({"phase", "t0", "duration", "energy", "avg power"});
+  for (const auto& ph : res.phases) {
+    t.row({ph.name, util::si_format(ph.t0, "s"),
+           util::si_format(ph.duration(), "s"),
+           util::si_format(res.energy(ph), "J"),
+           util::si_format(res.average_power(ph.t0, ph.t1), "W")});
+  }
+  t.print(std::cout);
+  res.wave.write_csv(csv_path);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Fig. 6 — power-vs-time traces and per-mode static power",
+      "NVPG keeps 6T-speed accesses and adds only a bounded store burst; NOF "
+      "pays a store burst every write; super cutoff crushes shutdown power");
+
+  trace("Fig. 6(a): 6T-SRAM cell, OSR sequence", sram::CellKind::k6T, false,
+        "bench_fig6_osr.csv");
+  trace("Fig. 6(a): NV-SRAM cell, NVPG sequence", sram::CellKind::kNvSram, true,
+        "bench_fig6_nvpg.csv");
+
+  // ---- NOF slowdown (Fig. 6(b) message) ----
+  core::PowerGatingAnalyzer analyzer(models::PaperParams::table1());
+  core::BenchmarkParams p;
+  p.n_rw = 100;
+  p.t_sl = 0.0;
+  util::print_banner(std::cout, "Fig. 6(b): effective cycle-time ratio vs OSR");
+  util::TablePrinter tb2({"architecture", "cycle-time ratio"});
+  for (auto a : {core::Architecture::kNVPG, core::Architecture::kNOF}) {
+    tb2.row({core::to_string(a),
+             bench::ratio_fmt(analyzer.cycle_time_ratio(a, p))});
+  }
+  tb2.print(std::cout);
+
+  // ---- Fig. 6(c): static power per mode ----
+  util::print_banner(std::cout, "Fig. 6(c): static power per mode");
+  util::TablePrinter t({"cell", "normal", "sleep (0.7 V)", "shutdown (SC)"});
+  util::CsvWriter csv("bench_fig6c.csv",
+                      {"cell", "p_normal", "p_sleep", "p_shutdown"});
+  const auto& c6 = analyzer.cell_6t();
+  const auto& cn = analyzer.cell_nv();
+  t.row({"6T-SRAM", util::si_format(c6.p_static_normal, "W"),
+         util::si_format(c6.p_static_sleep, "W"),
+         util::si_format(c6.p_static_shutdown, "W")});
+  t.row({"NV-SRAM", util::si_format(cn.p_static_normal, "W"),
+         util::si_format(cn.p_static_sleep, "W"),
+         util::si_format(cn.p_static_shutdown, "W")});
+  csv.row({0.0, c6.p_static_normal, c6.p_static_sleep, c6.p_static_shutdown});
+  csv.row({1.0, cn.p_static_normal, cn.p_static_sleep, cn.p_static_shutdown});
+  t.print(std::cout);
+
+  bench::print_footer("bench_fig6_{osr,nvpg}.csv, bench_fig6c.csv");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 7 reproduction: per-cell benchmark-cycle energy E_cyc vs n_RW.
+//   (a) t_SD = 0, t_SL swept 0 .. 1 us       — NVPG converges to OSR
+//   (b) M = 32, N swept 32 .. 2048           — large-domain crossover vs NOF
+//   (c) t_SD swept 10 us .. 10 ms            — nonlinear n_RW dependence
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+
+namespace {
+
+using namespace nvsram;
+using core::Architecture;
+using core::BenchmarkParams;
+
+const std::vector<int> kNrwGrid{1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+
+void print_series(const core::PowerGatingAnalyzer& an, const char* title,
+                  const BenchmarkParams& base, util::CsvWriter& csv,
+                  double tag) {
+  util::print_banner(std::cout, title);
+  util::TablePrinter t({"n_RW", "E_cyc OSR", "E_cyc NVPG", "E_cyc NOF",
+                        "NVPG/OSR", "NOF/OSR"});
+  const auto osr = an.ecyc_vs_nrw(Architecture::kOSR, kNrwGrid, base);
+  const auto nvpg = an.ecyc_vs_nrw(Architecture::kNVPG, kNrwGrid, base);
+  const auto nof = an.ecyc_vs_nrw(Architecture::kNOF, kNrwGrid, base);
+  for (std::size_t i = 0; i < kNrwGrid.size(); ++i) {
+    t.row({std::to_string(kNrwGrid[i]), util::si_format(osr[i].second, "J"),
+           util::si_format(nvpg[i].second, "J"),
+           util::si_format(nof[i].second, "J"),
+           util::si_format(nvpg[i].second / osr[i].second, "", 3),
+           util::si_format(nof[i].second / osr[i].second, "", 3)});
+    csv.row({tag, static_cast<double>(kNrwGrid[i]), osr[i].second,
+             nvpg[i].second, nof[i].second});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Fig. 7 — E_cyc per cell vs n_RW",
+      "NVPG E_cyc approaches OSR as n_RW grows; NOF rises monotonically above "
+      "OSR; large domains briefly favour NOF at tiny n_RW");
+
+  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+
+  // ---- (a): t_SD = 0, t_SL in {0, 100 ns, 1 us} ----
+  util::CsvWriter csv_a("bench_fig7a.csv",
+                        {"t_sl", "n_rw", "e_osr", "e_nvpg", "e_nof"});
+  for (double t_sl : {0.0, 100e-9, 1e-6}) {
+    BenchmarkParams base;
+    base.t_sl = t_sl;
+    base.t_sd = 0.0;
+    std::string title = "Fig. 7(a): t_SD = 0, t_SL = " +
+                        util::si_format(t_sl, "s", 0);
+    print_series(an, title.c_str(), base, csv_a, t_sl);
+  }
+
+  // ---- (b): M = 32, N in {32 .. 2048}, t_SL = 100 ns ----
+  util::CsvWriter csv_b("bench_fig7b.csv",
+                        {"rows", "n_rw", "e_osr", "e_nvpg", "e_nof"});
+  for (int rows : {32, 256, 2048}) {
+    BenchmarkParams base;
+    base.t_sl = 100e-9;
+    base.t_sd = 0.0;
+    base.rows = rows;
+    base.cols = 32;
+    std::string title = "Fig. 7(b): N = " + std::to_string(rows) + " (" +
+                        util::si_format(base.domain_bytes(), "B", 0) +
+                        " domain), t_SL = 100 ns";
+    print_series(an, title.c_str(), base, csv_b, rows);
+  }
+
+  // ---- (c): t_SD in {10 us, 100 us, 1 ms, 10 ms} ----
+  util::CsvWriter csv_c("bench_fig7c.csv",
+                        {"t_sd", "n_rw", "e_osr", "e_nvpg", "e_nof"});
+  for (double t_sd : {10e-6, 100e-6, 1e-3, 10e-3}) {
+    BenchmarkParams base;
+    base.t_sl = 100e-9;
+    base.t_sd = t_sd;
+    std::string title =
+        "Fig. 7(c): t_SD = " + util::si_format(t_sd, "s", 0) + ", t_SL = 100 ns";
+    print_series(an, title.c_str(), base, csv_c, t_sd);
+  }
+
+  bench::print_footer("bench_fig7{a,b,c}.csv");
+  return 0;
+}

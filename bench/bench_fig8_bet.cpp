@@ -1,0 +1,72 @@
+// Fig. 8 reproduction: E_cyc vs t_SD and the break-even time.
+//   (a) absolute E_cyc(t_SD) for OSR / NVPG / NOF at n_RW = 100
+//   (b) OSR-normalized E_cyc(t_SD) for n_RW in {10, 100, 1000}
+// The crossing of each curve with the OSR baseline is the BET.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace nvsram;
+  using core::Architecture;
+  using core::BenchmarkParams;
+
+  bench::print_header(
+      "Fig. 8 — E_cyc vs t_SD and break-even times",
+      "NVPG breaks even after several 10 us; NOF needs a much longer shutdown "
+      "and the crossing is strongly n_RW dependent");
+
+  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+  const auto t_grid = util::logspace(1e-6, 1e-1, 21);
+
+  // ---- (a) absolute curves at n_RW = 100 ----
+  BenchmarkParams base;
+  base.n_rw = 100;
+  base.t_sl = 100e-9;
+  util::print_banner(std::cout, "Fig. 8(a): E_cyc vs t_SD (n_RW = 100)");
+  util::TablePrinter ta({"t_SD", "OSR", "NVPG", "NOF"});
+  util::CsvWriter csv_a("bench_fig8a.csv", {"t_sd", "e_osr", "e_nvpg", "e_nof"});
+  const auto osr = an.ecyc_vs_tsd(Architecture::kOSR, t_grid, base);
+  const auto nvpg = an.ecyc_vs_tsd(Architecture::kNVPG, t_grid, base);
+  const auto nof = an.ecyc_vs_tsd(Architecture::kNOF, t_grid, base);
+  for (std::size_t i = 0; i < t_grid.size(); ++i) {
+    ta.row({util::si_format(t_grid[i], "s", 1),
+            util::si_format(osr[i].second, "J"),
+            util::si_format(nvpg[i].second, "J"),
+            util::si_format(nof[i].second, "J")});
+    csv_a.row({t_grid[i], osr[i].second, nvpg[i].second, nof[i].second});
+  }
+  ta.print(std::cout);
+
+  // ---- (b) normalized curves for n_RW in {10, 100, 1000} ----
+  util::CsvWriter csv_b("bench_fig8b.csv",
+                        {"n_rw", "t_sd", "nvpg_norm", "nof_norm"});
+  for (int n_rw : {10, 100, 1000}) {
+    base.n_rw = n_rw;
+    util::print_banner(std::cout, "Fig. 8(b): E_cyc normalized to OSR, n_RW = " +
+                                      std::to_string(n_rw));
+    util::TablePrinter t({"t_SD", "NVPG/OSR", "NOF/OSR"});
+    const auto nv = an.ecyc_vs_tsd_normalized(Architecture::kNVPG, t_grid, base);
+    const auto no = an.ecyc_vs_tsd_normalized(Architecture::kNOF, t_grid, base);
+    for (std::size_t i = 0; i < t_grid.size(); ++i) {
+      t.row({util::si_format(t_grid[i], "s", 1),
+             util::si_format(nv[i].second, "", 4),
+             util::si_format(no[i].second, "", 4)});
+      csv_b.row({static_cast<double>(n_rw), t_grid[i], nv[i].second,
+                 no[i].second});
+    }
+    t.print(std::cout);
+
+    const auto bet_nvpg = an.model().break_even_time(Architecture::kNVPG, base);
+    const auto bet_nof = an.model().break_even_time(Architecture::kNOF, base);
+    std::cout << "BET(NVPG) = "
+              << (bet_nvpg ? util::si_format(*bet_nvpg, "s") : "never")
+              << "   BET(NOF) = "
+              << (bet_nof ? util::si_format(*bet_nof, "s") : "never") << "\n";
+  }
+
+  bench::print_footer("bench_fig8{a,b}.csv");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 9 reproduction: BET vs domain size N.
+//   (a) Table I technology (300 MHz, Jc = 5e6 A/cm^2): BET vs N for n_RW in
+//       {10, 100, 1000}, with and without store-free shutdown
+//   (b) fast technology (1 GHz, Jc = 1e6 A/cm^2): much shorter BET / larger
+//       feasible domains even without store-free shutdown
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+
+namespace {
+
+using namespace nvsram;
+using core::Architecture;
+using core::BenchmarkParams;
+
+void bet_table(const core::PowerGatingAnalyzer& an, const char* title,
+               bool store_free, util::CsvWriter& csv, double tech_tag) {
+  util::print_banner(std::cout, title);
+  const std::vector<int> rows{32, 64, 128, 256, 512, 1024, 2048};
+  util::TablePrinter t(
+      {"N", "domain", "BET (n_RW=10)", "BET (n_RW=100)", "BET (n_RW=1000)"});
+  for (int r : rows) {
+    std::vector<std::string> cells;
+    BenchmarkParams base;
+    base.rows = r;
+    base.cols = 32;
+    base.t_sl = 100e-9;
+    base.store_free_shutdown = store_free;
+    cells.push_back(std::to_string(r));
+    cells.push_back(util::si_format(base.domain_bytes(), "B", 0));
+    std::vector<double> row_csv{tech_tag, store_free ? 1.0 : 0.0,
+                                static_cast<double>(r)};
+    for (int n_rw : {10, 100, 1000}) {
+      base.n_rw = n_rw;
+      const auto bet = an.model().break_even_time(Architecture::kNVPG, base);
+      cells.push_back(bet ? util::si_format(*bet, "s") : "never");
+      row_csv.push_back(bet ? *bet : -1.0);
+    }
+    t.row(cells);
+    csv.row(row_csv);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Fig. 9 — BET vs domain size N",
+      "BET grows with N and n_RW; store-free shutdown cuts it to a few us; "
+      "the 1 GHz / low-Jc technology shortens BET further");
+
+  util::CsvWriter csv("bench_fig9.csv",
+                      {"tech", "store_free", "rows", "bet_nrw10", "bet_nrw100",
+                       "bet_nrw1000"});
+
+  {
+    core::PowerGatingAnalyzer an(models::PaperParams::table1());
+    bet_table(an, "Fig. 9(a): Table I technology, with store", false, csv, 0.0);
+    bet_table(an, "Fig. 9(a): Table I technology, store-free shutdown", true,
+              csv, 0.0);
+  }
+  {
+    core::PowerGatingAnalyzer an(models::PaperParams::table1_fast());
+    std::cout << "\n[fast technology: clock = 1 GHz, Jc = 1e6 A/cm^2, "
+                 "rescaled store biases]\n";
+    bet_table(an, "Fig. 9(b): fast technology, with store", false, csv, 1.0);
+    bet_table(an, "Fig. 9(b): fast technology, store-free shutdown", true, csv,
+              1.0);
+  }
+
+  bench::print_footer("bench_fig9.csv");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension study: process-variation Monte Carlo on the NV-SRAM cell.
+//
+// Not a paper figure — the paper notes that the aggressive (1,1) fin sizing
+// lowers stability and defers to bias-assist techniques; this bench
+// quantifies the margin distributions that claim rests on.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sram/montecarlo.h"
+
+int main() {
+  using namespace nvsram;
+  bench::print_header(
+      "Monte-Carlo mismatch (extension)",
+      "hold/read SNM and store-margin distributions of the (1,1,1,1) cell "
+      "under Vth / kp / RA / Jc variation");
+
+  const int kSamples = 60;
+  util::CsvWriter csv("bench_montecarlo.csv",
+                      {"vth_sigma_mv", "metric", "mean", "sigma", "min",
+                       "yield"});
+
+  util::print_banner(std::cout, "SNM and store margin vs Vth sigma");
+  util::TablePrinter t({"Vth sigma", "metric", "mean", "sigma", "min",
+                        "yield"});
+  for (double vth_sigma : {0.01, 0.02, 0.03, 0.05}) {
+    sram::VariationSpec spec;
+    spec.vth_sigma = vth_sigma;
+
+    struct Row {
+      const char* metric;
+      sram::MonteCarloSummary s;
+      const char* unit;
+    };
+    sram::MonteCarlo mc1(models::PaperParams::table1(), spec);
+    sram::MonteCarlo mc2(models::PaperParams::table1(), spec);
+    sram::MonteCarlo mc3(models::PaperParams::table1(), spec);
+    const Row rows[] = {
+        {"hold SNM", mc1.hold_snm(kSamples), "V"},
+        {"read SNM", mc2.read_snm(kSamples), "V"},
+        {"store overdrive", mc3.store_margin(kSamples), "x Ic"},
+    };
+    for (const auto& row : rows) {
+      t.row({util::si_format(vth_sigma, "V", 0), row.metric,
+             util::si_format(row.s.stats.mean(), row.unit),
+             util::si_format(row.s.stats.stddev(), row.unit),
+             util::si_format(row.s.stats.min(), row.unit),
+             bench::ratio_fmt(row.s.yield(), 3)});
+      csv.row({vth_sigma * 1e3, static_cast<double>(row.metric[0]),
+               row.s.stats.mean(), row.s.stats.stddev(), row.s.stats.min(),
+               row.s.yield()});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: hold SNM stays healthy, but the read SNM tail is\n"
+               "what forces the paper's word-line-underdrive caveat; store\n"
+               "margins survive variation thanks to the 1.5 x Ic design "
+               "point.\n";
+  bench::print_footer("bench_montecarlo.csv");
+  return 0;
+}

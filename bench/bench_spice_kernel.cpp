@@ -1,0 +1,96 @@
+// Simulator-kernel microbenchmarks (google-benchmark): dense/sparse LU,
+// Newton DC solves of the NV-SRAM cell, and transient throughput.  These
+// are not paper figures; they document the substrate's performance.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
+#include "models/paper_params.h"
+#include "spice/dc.h"
+#include "sram/characterize.h"
+#include "sram/testbench.h"
+
+namespace {
+
+using namespace nvsram;
+
+void BM_DenseLuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    a(i, i) += static_cast<double>(n);
+  }
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    linalg::LuFactorization lu;
+    lu.factorize(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_DenseLuFactorSolve)->Arg(16)->Arg(40)->Arg(120);
+
+void BM_SparseLuGrid(benchmark::State& state) {
+  const std::size_t g = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = g * g;
+  linalg::SparseBuilder builder(n);
+  auto at = [g](std::size_t r, std::size_t c) { return r * g + c; };
+  for (std::size_t r = 0; r < g; ++r) {
+    for (std::size_t c = 0; c < g; ++c) {
+      const std::size_t i = at(r, c);
+      builder.add(i, i, 4.001);
+      if (r > 0) builder.add(i, at(r - 1, c), -1.0);
+      if (r + 1 < g) builder.add(i, at(r + 1, c), -1.0);
+      if (c > 0) builder.add(i, at(r, c - 1), -1.0);
+      if (c + 1 < g) builder.add(i, at(r, c + 1), -1.0);
+    }
+  }
+  const linalg::CsrMatrix a(builder);
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    linalg::SparseLu lu;
+    lu.factorize(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetLabel(std::to_string(n) + " unknowns");
+}
+BENCHMARK(BM_SparseLuGrid)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_NvCellDcOperatingPoint(benchmark::State& state) {
+  sram::CellTestbench tb(sram::CellKind::kNvSram, models::PaperParams::table1(),
+                         sram::TestbenchOptions{.ideal_bitlines = true});
+  for (auto _ : state) {
+    auto sol = tb.solve_dc(tb.bias_normal(), true);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_NvCellDcOperatingPoint);
+
+void BM_NvCellStoreTransient(benchmark::State& state) {
+  for (auto _ : state) {
+    sram::CellTestbench tb(sram::CellKind::kNvSram,
+                           models::PaperParams::table1());
+    tb.op_write(true);
+    tb.op_store();
+    auto res = tb.run();
+    benchmark::DoNotOptimize(res.wave.samples());
+  }
+}
+BENCHMARK(BM_NvCellStoreTransient)->Unit(benchmark::kMillisecond);
+
+void BM_CellCharacterization(benchmark::State& state) {
+  const auto pp = models::PaperParams::table1();
+  for (auto _ : state) {
+    sram::CellCharacterizer ch(pp);
+    benchmark::DoNotOptimize(ch.characterize(sram::CellKind::kNvSram));
+  }
+}
+BENCHMARK(BM_CellCharacterization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

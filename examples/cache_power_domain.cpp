@@ -1,0 +1,68 @@
+// Sizing a cache power domain for nonvolatile power-gating.
+//
+// A cache controller wants to gate parts of a lower-level cache whenever a
+// core idles.  The design question (the paper's Fig. 9): how large can a
+// power domain be so that its break-even time stays below the idle periods
+// the workload actually offers?
+//
+// This example characterizes the NV-SRAM cell once, then walks domain sizes
+// and reports BET with and without store-free shutdown, for the Table I
+// technology and the fast (1 GHz / low-Jc) variant.
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nvsram;
+  using core::Architecture;
+  using core::BenchmarkParams;
+
+  // Suppose traces show the L1 idles in ~50 us episodes and the L2 in ~1 ms
+  // episodes between bursts of ~100 accesses per line.
+  const double idle_l1 = 50e-6;
+  const double idle_l2 = 1e-3;
+
+  std::cout << "Cache power-domain sizing against idle episodes of "
+            << util::si_format(idle_l1, "s", 0) << " (L1) and "
+            << util::si_format(idle_l2, "s", 0) << " (L2)\n\n";
+
+  for (bool fast : {false, true}) {
+    const auto pp = fast ? models::PaperParams::table1_fast()
+                         : models::PaperParams::table1();
+    core::PowerGatingAnalyzer an(pp);
+    std::cout << (fast ? "--- fast technology (1 GHz, Jc = 1e6 A/cm^2) ---"
+                       : "--- Table I technology (300 MHz, Jc = 5e6 A/cm^2) ---")
+              << "\n";
+
+    util::TablePrinter t({"N", "domain", "BET", "BET store-free",
+                          "gate on L1 idle?", "gate on L2 idle?"});
+    int largest_ok_l1 = 0;
+    for (int rows : {32, 64, 128, 256, 512, 1024, 2048, 4096}) {
+      BenchmarkParams base;
+      base.rows = rows;
+      base.cols = 32;
+      base.n_rw = 100;
+      base.t_sl = 100e-9;
+      const auto bet = an.model().break_even_time(Architecture::kNVPG, base);
+      base.store_free_shutdown = true;
+      const auto bet_sf = an.model().break_even_time(Architecture::kNVPG, base);
+      if (bet && *bet < idle_l1) largest_ok_l1 = rows;
+      t.row({std::to_string(rows), util::si_format(base.domain_bytes(), "B", 0),
+             bet ? util::si_format(*bet, "s") : "never",
+             bet_sf ? util::si_format(*bet_sf, "s") : "never",
+             (bet && *bet < idle_l1) ? "yes" : "no",
+             (bet && *bet < idle_l2) ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    if (largest_ok_l1 > 0) {
+      std::cout << "=> largest L1-gateable domain: " << largest_ok_l1
+                << " rows (" << largest_ok_l1 * 32 / 8 << " B)\n\n";
+    } else {
+      std::cout << "=> no domain size breaks even within the L1 idle window; "
+                   "use store-free shutdown or gate only on L2 idles\n\n";
+    }
+  }
+  return 0;
+}

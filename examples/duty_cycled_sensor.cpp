@@ -1,0 +1,70 @@
+// NVPG vs NOF vs OSR for a duty-cycled always-on device.
+//
+// The paper's closing argument: NOF ("normally-off") only pays off for
+// workloads with very long standby between rare activity bursts, while NVPG
+// wins across the practical range.  This example sweeps the idle interval
+// of a duty-cycled sensor-hub SRAM buffer and reports the average power of
+// each architecture, locating the crossover points.
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nvsram;
+  using core::Architecture;
+  using core::BenchmarkParams;
+
+  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+
+  // Workload: every wake-up the firmware touches each buffer line ~20 times
+  // (n_RW = 20), then the buffer idles for t_idle until the next event.
+  std::cout
+      << "Duty-cycled sensor buffer: 32 x 32 domain, 20 accesses per wake\n"
+      << "Average power vs idle interval (lower is better)\n\n";
+
+  util::TablePrinter t({"t_idle", "P_avg OSR", "P_avg NVPG", "P_avg NOF",
+                        "winner"});
+  std::string prev_winner;
+  for (double t_idle : util::logspace(1e-6, 10.0, 15)) {
+    BenchmarkParams p;
+    p.n_rw = 20;
+    p.rows = 32;
+    p.cols = 32;
+    p.t_sl = 0.0;
+    p.t_sd = t_idle;
+
+    std::vector<std::string> cells;
+    cells.push_back(util::si_format(t_idle, "s", 1));
+    double best = 1e99;
+    std::string winner;
+    for (auto a :
+         {Architecture::kOSR, Architecture::kNVPG, Architecture::kNOF}) {
+      const auto b = an.model().cycle_energy(a, p);
+      const double p_avg = b.total() / b.duration;
+      cells.push_back(util::si_format(p_avg, "W"));
+      if (p_avg < best) {
+        best = p_avg;
+        winner = core::to_string(a);
+      }
+    }
+    if (winner != prev_winner && !prev_winner.empty()) {
+      winner += "  <- crossover";
+    }
+    cells.push_back(winner);
+    prev_winner = winner.substr(0, winner.find(' '));
+    t.row(cells);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: OSR wins when idles are shorter than the BET; NVPG takes\n"
+         "over beyond ~tens of us and keeps the full access speed.  NOF's\n"
+         "average power approaches NVPG's only at very long idle intervals\n"
+         "while paying its cycle-time penalty all the time - matching the\n"
+         "paper's conclusion that NOF suits only 'literally normally-off'\n"
+         "applications.\n";
+  return 0;
+}

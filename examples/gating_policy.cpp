@@ -1,0 +1,68 @@
+// Power-gating policy exploration on realistic idle-time distributions.
+//
+// The paper establishes the BET of an NVPG domain; a controller still has to
+// decide, online, when to gate.  This example characterizes the cell, then
+// pits the classic policies against each other on three workload shapes:
+// memoryless (exponential), heavy-tailed (Pareto), and bursty (bimodal).
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "core/workload.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nvsram;
+  using core::GatingPolicy;
+  using core::IdleWorkload;
+
+  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+  core::BenchmarkParams params;
+  params.n_rw = 100;
+  params.rows = 256;  // 1 kB domain
+  params.cols = 32;
+  core::PolicyEvaluator eval(an.model(), params);
+
+  std::cout << "NVPG gating policies on a 1 kB domain\n"
+            << "Same-cell break-even time: " << util::si_format(eval.bet(), "s")
+            << "\n\n";
+
+  struct Scenario {
+    const char* name;
+    IdleWorkload workload;
+  };
+  const double bet = eval.bet();
+  Scenario scenarios[] = {
+      {"exponential idles, mean = BET/2",
+       IdleWorkload::exponential(0.5 * bet, 2000, 1)},
+      {"exponential idles, mean = 5 x BET",
+       IdleWorkload::exponential(5.0 * bet, 2000, 2)},
+      {"Pareto idles (heavy tail), x_m = BET/10, alpha = 1.3",
+       IdleWorkload::pareto(0.1 * bet, 1.3, 2000, 3)},
+      {"bimodal: 90% at BET/20, 10% at 50 x BET",
+       IdleWorkload::bimodal(bet / 20.0, 50.0 * bet, 0.10, 2000, 4)},
+  };
+
+  for (const auto& s : scenarios) {
+    std::cout << "--- " << s.name << " ---\n";
+    util::TablePrinter t({"policy", "energy", "avg power", "gated", "slept",
+                          "vs oracle"});
+    const auto all = eval.compare(s.workload);
+    const double oracle_energy = all[2].second.energy;
+    for (const auto& [policy, r] : all) {
+      t.row({core::to_string(policy), util::si_format(r.energy, "J"),
+             util::si_format(r.average_power(), "W"),
+             std::to_string(r.shutdowns), std::to_string(r.sleeps),
+             util::si_format(r.energy / oracle_energy, "x", 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading: the BET-timeout policy tracks the oracle within its 2x\n"
+         "competitive bound on every distribution, while each pure policy\n"
+         "loses badly on the workload shape it was not built for.  This is\n"
+         "the operational content of the paper's break-even time.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// One-shot reproduction summary: characterizes both cells, evaluates every
+// headline claim of the paper, and prints a pass/fail scorecard.
+//
+// This is the "did the reproduction work?" smoke check — the per-figure
+// detail lives in the bench binaries.
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "sram/snm.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nvsram;
+  using core::Architecture;
+  using core::BenchmarkParams;
+
+  std::cout << "Reproduction scorecard: Shuto/Yamamoto/Sugahara, DATE 2015\n"
+            << models::PaperParams::table1().describe() << "\n";
+
+  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+  const auto& c6 = an.cell_6t();
+  const auto& cn = an.cell_nv();
+
+  std::cout << "6T-SRAM cell characterization:\n" << c6.describe()
+            << "NV-SRAM cell characterization:\n" << cn.describe() << "\n";
+
+  util::TablePrinter t({"#", "claim", "measured", "verdict"});
+  int id = 0;
+  auto check = [&](const std::string& claim, const std::string& measured,
+                   bool pass) {
+    t.row({std::to_string(++id), claim, measured, pass ? "PASS" : "FAIL"});
+    return pass;
+  };
+
+  bool all = true;
+
+  all &= check("store & restore verified by transient simulation",
+               std::string(cn.store_verified ? "store ok" : "store FAILED") +
+                   ", " + (cn.restore_verified ? "restore ok" : "restore FAILED"),
+               cn.store_verified && cn.restore_verified);
+
+  all &= check(
+      "V_CTRL control: NV leakage within 10% of 6T",
+      util::si_format(cn.p_static_normal, "W") + " vs " +
+          util::si_format(c6.p_static_normal, "W"),
+      cn.p_static_normal < 1.10 * c6.p_static_normal);
+
+  all &= check("super cutoff: shutdown power >= 100x below sleep",
+               util::si_format(cn.p_static_shutdown, "W"),
+               cn.p_static_shutdown < 0.01 * cn.p_static_sleep);
+
+  const auto snm6 = sram::hold_snm(models::PaperParams::table1(),
+                                   sram::CellKind::k6T);
+  const auto snmn = sram::hold_snm(models::PaperParams::table1(),
+                                   sram::CellKind::kNvSram);
+  all &= check("electrical separation preserves hold SNM (>= 90% of 6T)",
+               util::si_format(snmn.snm, "V") + " vs " +
+                   util::si_format(snm6.snm, "V"),
+               snmn.snm > 0.9 * snm6.snm);
+
+  BenchmarkParams p;
+  p.n_rw = 10000;
+  p.t_sl = 100e-9;
+  const double conv = an.model().e_cyc(Architecture::kNVPG, p) /
+                      an.model().e_cyc(Architecture::kOSR, p);
+  all &= check("Fig. 7(a): NVPG converges to OSR at large n_RW",
+               "ratio " + util::si_format(conv, "", 3) + " at n_RW=1e4",
+               conv < 1.10);
+
+  const double nof = an.model().e_cyc(Architecture::kNOF, p) /
+                     an.model().e_cyc(Architecture::kOSR, p);
+  all &= check("Fig. 7(a): NOF stays far above OSR",
+               "ratio " + util::si_format(nof, "", 1), nof > 2.5);
+
+  p.n_rw = 100;
+  const auto bet = an.model().break_even_time(Architecture::kNVPG, p);
+  all &= check("Fig. 8: NVPG BET in the several-10-us band",
+               bet ? util::si_format(*bet, "s") : "never",
+               bet && *bet > 10e-6 && *bet < 500e-6);
+
+  const auto bet_nof = an.model().break_even_time(Architecture::kNOF, p);
+  all &= check("Fig. 8: NOF BET at least 10x longer",
+               bet_nof ? util::si_format(*bet_nof, "s") : "never",
+               bet && bet_nof && *bet_nof > 10.0 * *bet);
+
+  BenchmarkParams sf = p;
+  sf.n_rw = 10;
+  sf.store_free_shutdown = true;
+  const auto bet_sf = an.model().break_even_time(Architecture::kNVPG, sf);
+  all &= check("Fig. 9(a): store-free shutdown BET of a few us",
+               bet_sf ? util::si_format(*bet_sf, "s") : "never",
+               bet_sf && *bet_sf < 10e-6);
+
+  p.t_sl = 0.0;
+  const double slowdown = an.cycle_time_ratio(Architecture::kNOF, p);
+  all &= check("Fig. 6(b): NOF stretches the cycle (> 3x); NVPG does not",
+               util::si_format(slowdown, "x", 2) + " vs " +
+                   util::si_format(an.cycle_time_ratio(Architecture::kNVPG, p),
+                                   "x", 2),
+               slowdown > 3.0 &&
+                   an.cycle_time_ratio(Architecture::kNVPG, p) < 1.05);
+
+  t.print(std::cout);
+  std::cout << "\n"
+            << (all ? "ALL CLAIMS REPRODUCED."
+                    : "SOME CLAIMS FAILED — see above.")
+            << "\n";
+  return all ? 0 : 1;
+}

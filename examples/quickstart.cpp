@@ -1,0 +1,63 @@
+// Quickstart: simulate one NV-SRAM cell through a full power-gating cycle
+// (write -> store -> shutdown -> restore) and print what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "models/paper_params.h"
+#include "sram/testbench.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nvsram;
+
+  // Table I of the paper: 20 nm FinFETs, 20 nm perpendicular MTJs.
+  const auto pp = models::PaperParams::table1();
+  std::cout << pp.describe() << "\n";
+
+  // A testbench holds one cell plus its periphery (power switch, bitline
+  // precharge/write drivers, WL/SR/CTRL drivers).
+  sram::CellTestbench tb(sram::CellKind::kNvSram, pp);
+
+  // Script the benchmark: ops are scheduled, then run as one transient.
+  tb.op_write(true);        // volatile write of '1'
+  tb.op_read();             // non-destructive read
+  tb.op_idle(1e-9);
+  tb.op_store();            // 2-step CIMS store into the MTJs
+  tb.op_shutdown(3e-6);     // super-cutoff power-off: virtual VDD collapses
+  tb.op_restore();          // wake-up: data returns from the MTJs
+  tb.op_idle(2e-9);
+
+  auto res = tb.run();
+
+  std::cout << "Phase-by-phase energy (all supplies and drivers):\n";
+  util::TablePrinter t({"phase", "start", "duration", "energy"});
+  for (const auto& ph : res.phases) {
+    t.row({ph.name, util::si_format(ph.t0, "s"),
+           util::si_format(ph.duration(), "s"),
+           util::si_format(res.energy(ph), "J")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nMTJ states after store: Q-side = "
+            << models::to_string(tb.mtj_q()->state()) << ", QB-side = "
+            << models::to_string(tb.mtj_qb()->state()) << "\n";
+
+  const auto& sd = res.phase("shutdown");
+  std::cout << "Virtual VDD at end of shutdown: "
+            << util::si_format(res.wave.value_at("V(VVDD)", sd.t1 - 1e-9), "V")
+            << " (fully collapsed)\n";
+
+  const double q = res.wave.value_at("V(Q)", tb.now() - 0.5e-9);
+  const double qb = res.wave.value_at("V(QB)", tb.now() - 0.5e-9);
+  std::cout << "After restore: V(Q) = " << util::si_format(q, "V")
+            << ", V(QB) = " << util::si_format(qb, "V") << "  ->  data '"
+            << (q > qb ? 1 : 0) << "' recovered\n";
+
+  res.wave.write_csv("quickstart_waveform.csv");
+  std::cout << "\nFull waveform written to quickstart_waveform.csv\n";
+  return 0;
+}

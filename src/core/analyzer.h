@@ -1,0 +1,57 @@
+// High-level facade: characterize the cells once, then answer the paper's
+// evaluation questions (E_cyc curves, BET curves, performance ratios).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/energy_model.h"
+#include "models/paper_params.h"
+
+namespace nvsram::core {
+
+class PowerGatingAnalyzer {
+ public:
+  // Characterizes both cells with SPICE at construction (a few transients
+  // and DC solves; seconds of wall time).
+  explicit PowerGatingAnalyzer(models::PaperParams pp);
+
+  const models::PaperParams& paper() const { return pp_; }
+  const EnergyModel& model() const { return *model_; }
+  const sram::CellEnergetics& cell_6t() const { return cell_6t_; }
+  const sram::CellEnergetics& cell_nv() const { return cell_nv_; }
+
+  // ---- figure-level series ----
+  // E_cyc(n_RW) for one architecture with everything else fixed (Fig. 7).
+  std::vector<std::pair<double, double>> ecyc_vs_nrw(
+      Architecture a, const std::vector<int>& n_rw_values,
+      BenchmarkParams base) const;
+
+  // E_cyc(t_SD) (Fig. 8(a)) and the OSR-normalized variant (Fig. 8(b)).
+  std::vector<std::pair<double, double>> ecyc_vs_tsd(
+      Architecture a, const std::vector<double>& t_sd_values,
+      BenchmarkParams base) const;
+  std::vector<std::pair<double, double>> ecyc_vs_tsd_normalized(
+      Architecture a, const std::vector<double>& t_sd_values,
+      BenchmarkParams base) const;
+
+  // BET(N) (Fig. 9); nullopt entries are skipped (never breaks even).
+  struct BetPoint {
+    int rows;
+    double bet;
+  };
+  std::vector<BetPoint> bet_vs_rows(Architecture a,
+                                    const std::vector<int>& rows_values,
+                                    BenchmarkParams base) const;
+
+  // NOF slowdown: benchmark-cycle duration ratio vs OSR (Fig. 6(b) message).
+  double cycle_time_ratio(Architecture a, const BenchmarkParams& p) const;
+
+ private:
+  models::PaperParams pp_;
+  sram::CellEnergetics cell_6t_;
+  sram::CellEnergetics cell_nv_;
+  std::unique_ptr<EnergyModel> model_;
+};
+
+}  // namespace nvsram::core

@@ -1,0 +1,14 @@
+#include "core/architecture.h"
+
+namespace nvsram::core {
+
+const char* to_string(Architecture a) {
+  switch (a) {
+    case Architecture::kOSR: return "OSR";
+    case Architecture::kNVPG: return "NVPG";
+    case Architecture::kNOF: return "NOF";
+  }
+  return "?";
+}
+
+}  // namespace nvsram::core

@@ -1,0 +1,14 @@
+// The three power-management architectures the paper compares.
+#pragma once
+
+namespace nvsram::core {
+
+enum class Architecture {
+  kOSR,   // ordinary volatile 6T-SRAM; long idle spent in low-voltage sleep
+  kNVPG,  // nonvolatile power-gating: store to MTJs only for long shutdowns
+  kNOF,   // normally-off: power off around every access, store on writes
+};
+
+const char* to_string(Architecture a);
+
+}  // namespace nvsram::core

@@ -1,0 +1,185 @@
+#include "core/energy_model.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rootfind.h"
+#include "util/units.h"
+
+namespace nvsram::core {
+
+std::string EnergyBreakdown::describe() const {
+  std::ostringstream os;
+  os << "access=" << util::si_format(access, "J")
+     << " standby=" << util::si_format(standby, "J")
+     << " sleep=" << util::si_format(sleep, "J")
+     << " store=" << util::si_format(store, "J") << "(+wait "
+     << util::si_format(store_wait, "J") << ")"
+     << " shutdown=" << util::si_format(shutdown, "J")
+     << " restore=" << util::si_format(restore, "J") << "(+wait "
+     << util::si_format(restore_wait, "J") << ")"
+     << " peripheral=" << util::si_format(peripheral, "J")
+     << " total=" << util::si_format(total(), "J")
+     << " duration=" << util::si_format(duration, "s");
+  return os.str();
+}
+
+EnergyModel::EnergyModel(sram::CellEnergetics cell_6t,
+                         sram::CellEnergetics cell_nv)
+    : cell_6t_(cell_6t), cell_nv_(cell_nv) {
+  if (cell_nv_.t_store <= 0.0 || cell_nv_.t_restore <= 0.0) {
+    throw std::invalid_argument(
+        "EnergyModel: cell_nv must be a characterized NV-SRAM cell");
+  }
+}
+
+EnergyBreakdown EnergyModel::cycle_energy(Architecture a,
+                                          const BenchmarkParams& p) const {
+  if (p.n_rw < 1 || p.rows < 1 || p.cols < 1 || p.t_sl < 0.0 || p.t_sd < 0.0 ||
+      p.reads_per_write < 0.0 || p.dirty_fraction < 0.0 ||
+      p.dirty_fraction > 1.0) {
+    throw std::invalid_argument("EnergyModel: invalid benchmark parameters");
+  }
+  const sram::CellEnergetics& c = cell(a);
+  const double T = c.t_clk;
+  const double N = static_cast<double>(p.rows);
+  const double reads = p.reads_per_write;
+  const double writes = 1.0;
+  const double n = static_cast<double>(p.n_rw);
+
+  EnergyBreakdown b;
+
+  switch (a) {
+    case Architecture::kOSR:
+    case Architecture::kNVPG: {
+      // Inner loop: sequential read of all N words, then sequential write.
+      const double d_access = (reads + writes) * N * T;
+      b.access = n * (reads * c.e_read + writes * c.e_write);
+      b.standby = n * c.p_static_normal * (d_access - (reads + writes) * T);
+      b.sleep = n * (c.p_static_sleep * p.t_sl +
+                     (p.t_sl > 0.0 ? c.e_sleep_transition : 0.0));
+      b.duration = n * (d_access + p.t_sl);
+
+      if (a == Architecture::kOSR) {
+        // The long shutdown period is replaced by a long sleep.  The entry /
+        // exit transition is charged unconditionally so that E(t_SD) is
+        // affine all the way to t_SD = 0 (the benchmark always enters the
+        // long idle phase).
+        b.shutdown = c.p_static_sleep * p.t_sd + c.e_sleep_transition;
+        b.duration += p.t_sd;
+      } else {
+        // Store (row by row), shutdown, restore (row by row).
+        if (!p.store_free_shutdown) {
+          // Masked store: only dirty cells burn CIMS energy; the store
+          // window itself still runs (rows are scanned regardless).
+          b.store = p.dirty_fraction * c.e_store;
+          // While other rows store, this row waits: powered (normal bias)
+          // before its slot, gated off after it.
+          b.store_wait = (N - 1.0) * c.t_store *
+                         0.5 * (c.p_static_normal + c.p_static_shutdown);
+          b.duration += N * c.t_store;
+        }
+        b.shutdown = c.p_static_shutdown * p.t_sd;
+        b.restore = c.e_restore;
+        b.restore_wait = (N - 1.0) * c.t_restore *
+                         0.5 * (c.p_static_shutdown + c.p_static_normal);
+        b.duration += p.t_sd + N * c.t_restore;
+      }
+      if (peripheral_) {
+        b.peripheral +=
+            n * (reads + writes) * peripheral_->access_overhead_per_cell(p.cols);
+        if (a == Architecture::kNVPG) {
+          if (!p.store_free_shutdown) {
+            b.peripheral += peripheral_->store_overhead_per_cell(p.cols);
+          }
+          b.peripheral += peripheral_->restore_overhead_per_cell(p.cols);
+        }
+      }
+      break;
+    }
+    case Architecture::kNOF: {
+      // Every access powers the row up and back down.  Reads need no store
+      // (the MTJs still hold the data); writes must store before power-off.
+      const double t_read_cycle = T + c.t_restore;
+      const double t_write_cycle =
+          T + c.t_restore + (p.store_free_shutdown ? 0.0 : c.t_store);
+      const double d_read_phase = N * t_read_cycle;
+      const double d_write_phase = N * t_write_cycle;
+
+      b.access = n * (reads * c.e_read + writes * c.e_write);
+      b.restore = n * (reads + writes) * c.e_restore;
+      b.store =
+          n * writes * (p.store_free_shutdown ? 0.0 : p.dirty_fraction * c.e_store);
+
+      // While the other N-1 words cycle, this row is gated off.
+      b.standby = n * c.p_static_shutdown * (N - 1.0) *
+                  (reads * t_read_cycle + writes * t_write_cycle);
+      // The short sleep is replaced by a short shutdown.
+      b.sleep = n * c.p_static_shutdown * p.t_sl;
+      b.duration = n * (reads * d_read_phase + writes * d_write_phase + p.t_sl);
+
+      // Long shutdown, then one final wake-up.
+      b.shutdown = c.p_static_shutdown * p.t_sd;
+      b.restore += c.e_restore;
+      b.restore_wait = (N - 1.0) * c.t_restore *
+                       0.5 * (c.p_static_shutdown + c.p_static_normal);
+      b.duration += p.t_sd + N * c.t_restore;
+      if (peripheral_) {
+        // Every NOF access swings WL and SR (wake-up); writes also swing the
+        // store lines.
+        b.peripheral +=
+            n * (reads + writes) *
+                (peripheral_->access_overhead_per_cell(p.cols) +
+                 peripheral_->restore_overhead_per_cell(p.cols)) +
+            n * writes *
+                (p.store_free_shutdown
+                     ? 0.0
+                     : peripheral_->store_overhead_per_cell(p.cols)) +
+            peripheral_->restore_overhead_per_cell(p.cols);
+      }
+      break;
+    }
+  }
+  return b;
+}
+
+double EnergyModel::shutdown_slope(Architecture a) const {
+  const sram::CellEnergetics& c = cell(a);
+  return a == Architecture::kOSR ? c.p_static_sleep : c.p_static_shutdown;
+}
+
+std::optional<double> EnergyModel::break_even_time(Architecture a,
+                                                   BenchmarkParams p) const {
+  if (a == Architecture::kOSR) return 0.0;
+  p.t_sd = 0.0;
+  const double e_arch0 = e_cyc(a, p);
+  const double e_osr0 = e_cyc(Architecture::kOSR, p);
+  const double slope_arch = shutdown_slope(a);
+  const double slope_osr = shutdown_slope(Architecture::kOSR);
+  if (slope_osr <= slope_arch) return std::nullopt;
+  const double bet = (e_arch0 - e_osr0) / (slope_osr - slope_arch);
+  return std::max(0.0, bet);
+}
+
+std::optional<double> EnergyModel::break_even_time_numeric(
+    Architecture a, BenchmarkParams p) const {
+  if (a == Architecture::kOSR) return 0.0;
+  auto diff = [&](double t_sd) {
+    BenchmarkParams q = p;
+    q.t_sd = t_sd;
+    return e_cyc(a, q) - e_cyc(Architecture::kOSR, q);
+  };
+  if (diff(0.0) <= 0.0) return 0.0;
+  // Expand the bracket geometrically up to one hour of shutdown.
+  double hi = 1e-6;
+  while (diff(hi) > 0.0) {
+    hi *= 4.0;
+    if (hi > 3600.0) return std::nullopt;
+  }
+  auto root = util::brent(diff, 0.0, hi, {.x_tolerance = 1e-15});
+  if (!root || !root->converged) return std::nullopt;
+  return root->x;
+}
+
+}  // namespace nvsram::core

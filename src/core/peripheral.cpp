@@ -1,0 +1,46 @@
+#include "core/peripheral.h"
+
+#include <stdexcept>
+
+namespace nvsram::core {
+
+PeripheralModel::PeripheralModel(PeripheralParams params,
+                                 models::PaperParams paper)
+    : params_(params), paper_(paper) {
+  if (params_.driver_efficiency <= 0.0 || params_.driver_efficiency > 1.0) {
+    throw std::invalid_argument(
+        "PeripheralModel: driver_efficiency must be in (0, 1]");
+  }
+  const auto fet = paper_.nmos(1);
+  gate_cap_fin_ = fet.cgs() + fet.cgd();
+}
+
+double PeripheralModel::line_energy(int cols, int gates_per_cell,
+                                    double v_swing) const {
+  if (cols < 1 || gates_per_cell < 0) {
+    throw std::invalid_argument("PeripheralModel::line_energy: bad geometry");
+  }
+  const double c_line =
+      cols * (params_.wire_cap_per_cell + gates_per_cell * gate_cap_fin_);
+  return c_line * v_swing * v_swing / params_.driver_efficiency;
+}
+
+double PeripheralModel::access_overhead_per_cell(int cols) const {
+  // WL loads the two access gates of every cell on the row.
+  return line_energy(cols, 2 * paper_.fins_access, paper_.vdd) / cols;
+}
+
+double PeripheralModel::store_overhead_per_cell(int cols) const {
+  // Step 1 swings SR to V_SR (two PS gates per cell); step 2 swings CTRL,
+  // which is a junction-loaded line — approximate with the same per-cell
+  // loading at the (lower) V_CTRL swing.
+  const double sr = line_energy(cols, 2 * paper_.fins_ps, paper_.vsr);
+  const double ctrl = line_energy(cols, 2 * paper_.fins_ps, paper_.vctrl_store);
+  return (sr + ctrl) / cols;
+}
+
+double PeripheralModel::restore_overhead_per_cell(int cols) const {
+  return line_energy(cols, 2 * paper_.fins_ps, paper_.vsr) / cols;
+}
+
+}  // namespace nvsram::core

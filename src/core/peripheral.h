@@ -1,0 +1,44 @@
+// Peripheral driver energy model (extension).
+//
+// The paper excludes the SR/CTRL line drivers "for simplicity".  This model
+// puts a number on that exclusion: line capacitances estimated from the
+// array geometry (wire + gate loading per cell pitch), charged through a
+// driver chain per operation.  EnergyModel composes these as an optional
+// `peripheral` term, so the NVPG-vs-NOF comparison can be re-run with the
+// overhead included (see bench_ablation).
+#pragma once
+
+#include "models/paper_params.h"
+
+namespace nvsram::core {
+
+struct PeripheralParams {
+  // Wire capacitance of a control line per cell pitch it crosses.
+  double wire_cap_per_cell = 0.05e-15;  // F (~50 aF at 20 nm-class pitches)
+  // Driver chain overhead: total energy = C V^2 / efficiency.
+  double driver_efficiency = 0.7;
+};
+
+class PeripheralModel {
+ public:
+  PeripheralModel(PeripheralParams params, models::PaperParams paper);
+
+  // Full-swing energy of one row's line crossing `cols` cells, loaded by
+  // `gates_per_cell` single-fin FET gates, swung to `v_swing`.
+  double line_energy(int cols, int gates_per_cell, double v_swing) const;
+
+  // Per-cell overheads for the Fig. 5 sequence composition:
+  // one word-line pulse per access (1 access-gate pair per cell) ...
+  double access_overhead_per_cell(int cols) const;
+  // ... SR (to V_SR) plus CTRL (to V_CTRL_store) swings per row store ...
+  double store_overhead_per_cell(int cols) const;
+  // ... and one SR swing per row restore.
+  double restore_overhead_per_cell(int cols) const;
+
+ private:
+  PeripheralParams params_;
+  models::PaperParams paper_;
+  double gate_cap_fin_;  // one fin's gate capacitance (Cgs + Cgd)
+};
+
+}  // namespace nvsram::core

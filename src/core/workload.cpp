@@ -1,0 +1,180 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nvsram::core {
+
+double IdleWorkload::total_idle() const {
+  return std::accumulate(idle_intervals.begin(), idle_intervals.end(), 0.0);
+}
+
+IdleWorkload IdleWorkload::exponential(double mean_idle, int episodes,
+                                       unsigned seed) {
+  if (mean_idle <= 0.0 || episodes < 1) {
+    throw std::invalid_argument("IdleWorkload::exponential: bad parameters");
+  }
+  IdleWorkload w;
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> dist(1.0 / mean_idle);
+  w.idle_intervals.reserve(episodes);
+  for (int i = 0; i < episodes; ++i) w.idle_intervals.push_back(dist(rng));
+  return w;
+}
+
+IdleWorkload IdleWorkload::pareto(double x_m, double alpha, int episodes,
+                                  unsigned seed) {
+  if (x_m <= 0.0 || alpha <= 1.0 || episodes < 1) {
+    throw std::invalid_argument("IdleWorkload::pareto: bad parameters");
+  }
+  IdleWorkload w;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  w.idle_intervals.reserve(episodes);
+  for (int i = 0; i < episodes; ++i) {
+    const double q = std::max(1e-12, 1.0 - u(rng));
+    w.idle_intervals.push_back(x_m / std::pow(q, 1.0 / alpha));
+  }
+  return w;
+}
+
+IdleWorkload IdleWorkload::periodic(double idle, int episodes) {
+  if (idle < 0.0 || episodes < 1) {
+    throw std::invalid_argument("IdleWorkload::periodic: bad parameters");
+  }
+  IdleWorkload w;
+  w.idle_intervals.assign(episodes, idle);
+  return w;
+}
+
+IdleWorkload IdleWorkload::bimodal(double short_idle, double long_idle,
+                                   double long_fraction, int episodes,
+                                   unsigned seed) {
+  if (long_fraction < 0.0 || long_fraction > 1.0 || episodes < 1) {
+    throw std::invalid_argument("IdleWorkload::bimodal: bad parameters");
+  }
+  IdleWorkload w;
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution pick_long(long_fraction);
+  w.idle_intervals.reserve(episodes);
+  for (int i = 0; i < episodes; ++i) {
+    w.idle_intervals.push_back(pick_long(rng) ? long_idle : short_idle);
+  }
+  return w;
+}
+
+const char* to_string(GatingPolicy p) {
+  switch (p) {
+    case GatingPolicy::kNeverGate: return "never-gate";
+    case GatingPolicy::kAlwaysGate: return "always-gate";
+    case GatingPolicy::kOracle: return "oracle";
+    case GatingPolicy::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+PolicyEvaluator::PolicyEvaluator(const EnergyModel& model,
+                                 BenchmarkParams params) {
+  params.t_sl = 0.0;
+  params.t_sd = 0.0;
+  const sram::CellEnergetics& c = model.cell(Architecture::kNVPG);
+  const auto b = model.cycle_energy(Architecture::kNVPG, params);
+
+  params_n_rw_ = params.n_rw;
+  burst_energy_ = b.access + b.standby;
+  burst_time_ = static_cast<double>(params.n_rw) *
+                (params.reads_per_write + 1.0) * params.rows * c.t_clk;
+  gate_overhead_energy_ = b.store + b.store_wait + b.restore + b.restore_wait;
+  gate_overhead_time_ =
+      params.rows * (c.t_store + c.t_restore);
+  p_sleep_ = c.p_static_sleep;
+  p_shutdown_ = c.p_static_shutdown;
+  e_sleep_transition_ = c.e_sleep_transition;
+
+  // Same-cell break-even: gating an idle of length T costs
+  //   gate_overhead + P_sd T      vs sleeping:   E_trans + P_slp T.
+  // (This differs from the paper's Fig. 8 BET, which compares against the
+  // 6T OSR baseline and therefore also carries the run-time delta.)
+  const double dp = p_sleep_ - p_shutdown_;
+  bet_ = dp > 0.0
+             ? std::max(0.0, (gate_overhead_energy_ - e_sleep_transition_) / dp)
+             : std::numeric_limits<double>::infinity();
+}
+
+PolicyResult PolicyEvaluator::evaluate(const IdleWorkload& workload,
+                                       GatingPolicy policy,
+                                       double timeout) const {
+  if (policy == GatingPolicy::kTimeout && timeout < 0.0) {
+    throw std::invalid_argument("PolicyEvaluator: negative timeout");
+  }
+  PolicyResult r;
+  // Burst energy/time are linear in the inner-loop count: rescale the
+  // characterized burst to the workload's per-burst access count.
+  const double burst_scale =
+      workload.n_rw_per_burst > 0
+          ? static_cast<double>(workload.n_rw_per_burst) / params_n_rw_
+          : 1.0;
+
+  for (double idle : workload.idle_intervals) {
+    r.energy += burst_scale * burst_energy_;
+    r.duration += burst_scale * burst_time_;
+
+    auto spend_sleeping = [&](double t) {
+      r.energy += e_sleep_transition_ + p_sleep_ * t;
+      r.duration += t;
+      ++r.sleeps;
+    };
+    auto spend_gated = [&](double t) {
+      r.energy += gate_overhead_energy_ + p_shutdown_ * t;
+      r.duration += t + gate_overhead_time_;
+      ++r.shutdowns;
+    };
+
+    switch (policy) {
+      case GatingPolicy::kNeverGate:
+        spend_sleeping(idle);
+        break;
+      case GatingPolicy::kAlwaysGate:
+        spend_gated(idle);
+        break;
+      case GatingPolicy::kOracle:
+        if (idle > bet_) {
+          spend_gated(idle);
+        } else {
+          spend_sleeping(idle);
+        }
+        break;
+      case GatingPolicy::kTimeout: {
+        if (idle <= timeout) {
+          spend_sleeping(idle);
+        } else {
+          // Sleep through the timeout window, then gate the remainder.
+          r.energy += e_sleep_transition_ + p_sleep_ * timeout;
+          r.duration += timeout;
+          ++r.sleeps;
+          spend_gated(idle - timeout);
+        }
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::pair<GatingPolicy, PolicyResult>> PolicyEvaluator::compare(
+    const IdleWorkload& workload) const {
+  std::vector<std::pair<GatingPolicy, PolicyResult>> out;
+  out.emplace_back(GatingPolicy::kNeverGate,
+                   evaluate(workload, GatingPolicy::kNeverGate));
+  out.emplace_back(GatingPolicy::kAlwaysGate,
+                   evaluate(workload, GatingPolicy::kAlwaysGate));
+  out.emplace_back(GatingPolicy::kOracle,
+                   evaluate(workload, GatingPolicy::kOracle));
+  out.emplace_back(GatingPolicy::kTimeout,
+                   evaluate(workload, GatingPolicy::kTimeout, bet_));
+  return out;
+}
+
+}  // namespace nvsram::core

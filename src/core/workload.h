@@ -1,0 +1,96 @@
+// Idle-interval workloads and power-gating policy evaluation.
+//
+// The paper's BET is exactly the threshold of the optimal clairvoyant
+// gating policy: shut down iff the coming idle interval exceeds the BET.
+// This module makes that operational: generate or supply a sequence of idle
+// intervals, then evaluate classic policies (never gate / always gate /
+// oracle / fixed timeout) on the characterized cell energetics.  Energies
+// are per cell, like everything in core/.
+#pragma once
+
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/energy_model.h"
+
+namespace nvsram::core {
+
+// A workload = repeated episodes of [activity burst][idle interval].
+struct IdleWorkload {
+  // Inner-loop repetitions of the Fig. 5 benchmark per burst.
+  int n_rw_per_burst = 100;
+  // Idle interval after each burst (seconds).
+  std::vector<double> idle_intervals;
+
+  double total_idle() const;
+  std::size_t episodes() const { return idle_intervals.size(); }
+
+  // ---- generators ----
+  // Memoryless idles with the given mean.
+  static IdleWorkload exponential(double mean_idle, int episodes,
+                                  unsigned seed = 1);
+  // Heavy-tailed idles: Pareto with scale x_m and shape alpha (> 1).
+  static IdleWorkload pareto(double x_m, double alpha, int episodes,
+                             unsigned seed = 1);
+  // Fixed idle interval.
+  static IdleWorkload periodic(double idle, int episodes);
+  // Alternating short/long idles (bursty cache-like behaviour).
+  static IdleWorkload bimodal(double short_idle, double long_idle,
+                              double long_fraction, int episodes,
+                              unsigned seed = 1);
+};
+
+enum class GatingPolicy {
+  kNeverGate,   // spend every idle in the sleep retention mode
+  kAlwaysGate,  // store + shutdown for every idle, however short
+  kOracle,      // gate iff the idle exceeds the BET (clairvoyant optimum)
+  kTimeout,     // sleep for `timeout`, then gate if the idle continues
+};
+
+const char* to_string(GatingPolicy p);
+
+struct PolicyResult {
+  double energy = 0.0;      // total per-cell energy over the workload (J)
+  double duration = 0.0;    // total wall time (s)
+  int shutdowns = 0;        // episodes that ended up gated
+  int sleeps = 0;           // episodes spent (partly) in sleep
+  double average_power() const {
+    return duration > 0.0 ? energy / duration : 0.0;
+  }
+};
+
+// Evaluates gating policies for an NVPG-managed domain.
+class PolicyEvaluator {
+ public:
+  // `params` fixes the domain geometry (rows/cols) and the per-burst access
+  // pattern; its t_sl / t_sd are ignored (the workload supplies the idles).
+  PolicyEvaluator(const EnergyModel& model, BenchmarkParams params);
+
+  // The BET used by the oracle / recommended timeout.
+  double bet() const { return bet_; }
+
+  PolicyResult evaluate(const IdleWorkload& workload, GatingPolicy policy,
+                        double timeout = 0.0) const;
+
+  // Convenience: evaluates all four policies (timeout = BET, the classic
+  // 2-competitive choice) and returns them in enum order.
+  std::vector<std::pair<GatingPolicy, PolicyResult>> compare(
+      const IdleWorkload& workload) const;
+
+ private:
+  // Energy/time of one burst (no trailing idle).
+  double burst_energy_ = 0.0;
+  double burst_time_ = 0.0;
+  // One-time cost and wall time of a gate cycle (store + restore + waits).
+  double gate_overhead_energy_ = 0.0;
+  double gate_overhead_time_ = 0.0;
+  double p_sleep_ = 0.0;
+  double p_shutdown_ = 0.0;
+  int params_n_rw_ = 1;
+  double e_sleep_transition_ = 0.0;
+  double bet_ = 0.0;
+};
+
+}  // namespace nvsram::core

@@ -1,0 +1,63 @@
+#include "linalg/dense.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvsram::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void DenseMatrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("DenseMatrix::multiply size");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot size");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double norm_2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double s, const Vector& b, Vector& a) {
+  if (a.size() != b.size()) throw std::invalid_argument("axpy size");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+}  // namespace nvsram::linalg

@@ -1,0 +1,39 @@
+// Partially pivoted LU factorization of a DenseMatrix, with solve/refine.
+#pragma once
+
+#include <optional>
+
+#include "linalg/dense.h"
+
+namespace nvsram::linalg {
+
+// In-place LU with partial pivoting.  After factorize(), solve() may be
+// called repeatedly with different right-hand sides.
+class LuFactorization {
+ public:
+  // Factorizes a copy of `a`.  Returns false if the matrix is singular to
+  // working precision (pivot below `pivot_floor`).
+  bool factorize(const DenseMatrix& a, double pivot_floor = 1e-300);
+
+  // Solves A x = b using the stored factors.  Requires factorize() == true.
+  Vector solve(const Vector& b) const;
+
+  // One step of iterative refinement against the original matrix.
+  Vector refine(const DenseMatrix& a, const Vector& b, const Vector& x) const;
+
+  bool valid() const { return valid_; }
+  std::size_t dimension() const { return lu_.rows(); }
+
+  // Estimated reciprocal condition (cheap: min|pivot| / max|pivot|).
+  double pivot_ratio() const;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool valid_ = false;
+};
+
+// Convenience one-shot solve.  Returns nullopt on singular systems.
+std::optional<Vector> solve_dense(const DenseMatrix& a, const Vector& b);
+
+}  // namespace nvsram::linalg

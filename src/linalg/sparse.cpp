@@ -1,0 +1,71 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvsram::linalg {
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.dimension()) {
+  // Sort triplets by (row, col) and merge duplicates.
+  std::vector<Triplet> t = builder.triplets();
+  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  col_idx_.reserve(t.size());
+  values_.reserve(t.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    row_ptr_[r] = col_idx_.size();
+    while (i < t.size() && t[i].row == r) {
+      const std::size_t c = t[i].col;
+      if (c >= n_) throw std::out_of_range("CsrMatrix: column out of range");
+      double v = 0.0;
+      while (i < t.size() && t[i].row == r && t[i].col == c) {
+        v += t[i].value;
+        ++i;
+      }
+      col_idx_.push_back(c);
+      values_.push_back(v);
+    }
+  }
+  if (i != t.size()) throw std::out_of_range("CsrMatrix: row out of range");
+  row_ptr_[n_] = col_idx_.size();
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  if (x.size() != n_) throw std::invalid_argument("CsrMatrix::multiply size");
+  Vector y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= n_ || col >= n_) throw std::out_of_range("CsrMatrix::at");
+  for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+    if (col_idx_[k] == col) return values_[k];
+  }
+  return 0.0;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace nvsram::linalg

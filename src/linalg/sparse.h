@@ -1,0 +1,68 @@
+// Sparse matrix support: a triplet (COO) builder and a CSR product form.
+//
+// MNA assembly stamps entries additively, so the builder accumulates
+// duplicate (row, col) contributions.  Conversion to CSR merges duplicates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace nvsram::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(std::size_t n = 0) : n_(n) {}
+
+  void resize(std::size_t n) { n_ = n; }
+  void clear() { triplets_.clear(); }
+
+  // Additive stamp (duplicates accumulate at CSR conversion).
+  void add(std::size_t row, std::size_t col, double value) {
+    triplets_.push_back({row, col, value});
+  }
+
+  std::size_t dimension() const { return n_; }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+// Compressed sparse row matrix (square, as MNA systems always are).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  std::size_t dimension() const { return n_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  // y = A x
+  Vector multiply(const Vector& x) const;
+
+  // Entry lookup (linear scan inside row; rows are column-sorted).
+  double at(std::size_t row, std::size_t col) const;
+
+  DenseMatrix to_dense() const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace nvsram::linalg

@@ -1,0 +1,245 @@
+#include "linalg/sparse_lu.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace nvsram::linalg {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Column-compressed view of a CSR matrix (values copied).
+struct Csc {
+  std::size_t n = 0;
+  std::vector<std::size_t> col_ptr;
+  std::vector<std::size_t> row_idx;
+  std::vector<double> values;
+};
+
+Csc to_csc(const CsrMatrix& a) {
+  Csc c;
+  c.n = a.dimension();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& v = a.values();
+  c.col_ptr.assign(c.n + 1, 0);
+  for (std::size_t col : ci) c.col_ptr[col + 1]++;
+  for (std::size_t j = 0; j < c.n; ++j) c.col_ptr[j + 1] += c.col_ptr[j];
+  c.row_idx.resize(ci.size());
+  c.values.resize(ci.size());
+  std::vector<std::size_t> next(c.col_ptr.begin(), c.col_ptr.end() - 1);
+  for (std::size_t r = 0; r < c.n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t dst = next[ci[k]]++;
+      c.row_idx[dst] = r;
+      c.values[dst] = v[k];
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
+                         double pivot_floor) {
+  n_ = a.dimension();
+  valid_ = false;
+  if (n_ == 0) {
+    valid_ = true;
+    return true;
+  }
+  const Csc acsc = to_csc(a);
+
+  // L and U built column by column (CSC).  L keeps original row indices
+  // during factorization; they are remapped to factor rows at the end.
+  std::vector<std::size_t> l_col_ptr{0}, u_col_ptr{0};
+  std::vector<std::size_t> l_rows, u_rows;
+  std::vector<double> l_vals, u_vals;
+  l_rows.reserve(acsc.row_idx.size() * 4);
+  l_vals.reserve(acsc.row_idx.size() * 4);
+  u_rows.reserve(acsc.row_idx.size() * 4);
+  u_vals.reserve(acsc.row_idx.size() * 4);
+
+  std::vector<std::size_t> pinv(n_, kNone);  // original row -> factor row
+
+  // Workspaces for the sparse triangular solve.
+  std::vector<double> x(n_, 0.0);
+  std::vector<int> mark(n_, 0);
+  int stamp = 0;
+  std::vector<std::size_t> topo;          // reach set in topological order
+  std::vector<std::size_t> dfs_stack, dfs_pos;
+  topo.reserve(n_);
+  dfs_stack.reserve(n_);
+  dfs_pos.reserve(n_);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // ---- symbolic: reachability of pattern(A(:,k)) through the L graph ----
+    ++stamp;
+    topo.clear();
+    for (std::size_t p = acsc.col_ptr[k]; p < acsc.col_ptr[k + 1]; ++p) {
+      const std::size_t root = acsc.row_idx[p];
+      if (mark[root] == stamp) continue;
+      // Iterative DFS; post-order gives reverse-topological order.
+      dfs_stack.assign(1, root);
+      dfs_pos.assign(1, 0);
+      mark[root] = stamp;
+      while (!dfs_stack.empty()) {
+        const std::size_t node = dfs_stack.back();
+        const std::size_t fr = pinv[node];
+        bool descended = false;
+        if (fr != kNone) {
+          // Children: below-diagonal entries of L column `fr` (skip diag at 0).
+          std::size_t& pos = dfs_pos.back();
+          const std::size_t begin = l_col_ptr[fr] + 1;
+          const std::size_t end = l_col_ptr[fr + 1];
+          while (begin + pos < end) {
+            const std::size_t child = l_rows[begin + pos];
+            ++pos;
+            if (mark[child] != stamp) {
+              mark[child] = stamp;
+              dfs_stack.push_back(child);
+              dfs_pos.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          topo.push_back(node);
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    }
+    // topo is in post-order; reverse for elimination order.
+    // (Every node's L-parents appear after it in post-order.)
+
+    // ---- numeric: x = L \ A(:,k) over the reach set ----
+    for (std::size_t node : topo) x[node] = 0.0;
+    for (std::size_t p = acsc.col_ptr[k]; p < acsc.col_ptr[k + 1]; ++p) {
+      x[acsc.row_idx[p]] = acsc.values[p];
+    }
+    for (std::size_t idx = topo.size(); idx-- > 0;) {
+      const std::size_t node = topo[idx];
+      const std::size_t fr = pinv[node];
+      if (fr == kNone) continue;  // not yet pivotal: no elimination from it
+      const double xj = x[node];
+      if (xj == 0.0) continue;
+      for (std::size_t p = l_col_ptr[fr] + 1; p < l_col_ptr[fr + 1]; ++p) {
+        x[l_rows[p]] -= l_vals[p] * xj;
+      }
+    }
+
+    // ---- pivot selection among not-yet-pivotal rows ----
+    double max_mag = 0.0;
+    std::size_t pivot_row = kNone;
+    for (std::size_t node : topo) {
+      if (pinv[node] != kNone) continue;
+      const double mag = std::fabs(x[node]);
+      if (mag > max_mag) {
+        max_mag = mag;
+        pivot_row = node;
+      }
+    }
+    if (pivot_row == kNone || max_mag < pivot_floor) return false;
+    // Prefer the natural diagonal if it is within the threshold: keeps the
+    // permutation close to identity, which preserves sparsity for MNA.
+    if (pinv[k] == kNone && std::fabs(x[k]) >= pivot_threshold * max_mag &&
+        std::fabs(x[k]) >= pivot_floor) {
+      pivot_row = k;
+    }
+    const double pivot = x[pivot_row];
+    pinv[pivot_row] = k;
+
+    // ---- partition x into U(:,k) and L(:,k) ----
+    // U gets pivotal rows (factor index < k) plus the diagonal (stored last).
+    for (std::size_t node : topo) {
+      if (node == pivot_row) continue;
+      const std::size_t fr = pinv[node];
+      const double v = x[node];
+      if (fr != kNone) {
+        if (v != 0.0) {
+          u_rows.push_back(fr);
+          u_vals.push_back(v);
+        }
+      }
+    }
+    u_rows.push_back(k);
+    u_vals.push_back(pivot);
+    u_col_ptr.push_back(u_rows.size());
+
+    // L column: unit diagonal first (original row id of the pivot), then the
+    // scaled below-diagonal entries.
+    l_rows.push_back(pivot_row);
+    l_vals.push_back(1.0);
+    for (std::size_t node : topo) {
+      if (node == pivot_row || pinv[node] != kNone) continue;
+      const double v = x[node];
+      if (v != 0.0) {
+        l_rows.push_back(node);
+        l_vals.push_back(v / pivot);
+      }
+    }
+    l_col_ptr.push_back(l_rows.size());
+  }
+
+  // Remap L's original row indices to factor rows (all rows pivotal now).
+  for (auto& r : l_rows) r = pinv[r];
+
+  l_row_ptr_ = std::move(l_col_ptr);  // (columns of L; name kept generic)
+  l_col_ = std::move(l_rows);
+  l_values_ = std::move(l_vals);
+  u_row_ptr_ = std::move(u_col_ptr);
+  u_col_ = std::move(u_rows);
+  u_values_ = std::move(u_vals);
+
+  perm_.assign(n_, 0);
+  for (std::size_t orig = 0; orig < n_; ++orig) perm_[pinv[orig]] = orig;
+  pinv_ = std::move(pinv);
+  valid_ = true;
+  return true;
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+  if (!valid_) throw std::logic_error("SparseLu::solve before factorize");
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve rhs size");
+
+  // y = P b
+  Vector y(n_);
+  for (std::size_t orig = 0; orig < n_; ++orig) y[pinv_[orig]] = b[orig];
+
+  // Forward solve L y' = y (unit diagonal stored first in each column).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double xk = y[k];
+    if (xk == 0.0) continue;
+    for (std::size_t p = l_row_ptr_[k] + 1; p < l_row_ptr_[k + 1]; ++p) {
+      y[l_col_[p]] -= l_values_[p] * xk;
+    }
+  }
+  // Back solve U x = y' (diagonal stored last in each column).
+  for (std::size_t k = n_; k-- > 0;) {
+    const std::size_t diag = u_row_ptr_[k + 1] - 1;
+    const double xk = y[k] / u_values_[diag];
+    y[k] = xk;
+    if (xk == 0.0) continue;
+    for (std::size_t p = u_row_ptr_[k]; p < diag; ++p) {
+      y[u_col_[p]] -= u_values_[p] * xk;
+    }
+  }
+  return y;
+}
+
+std::optional<Vector> solve_sparse(const CsrMatrix& a, const Vector& b) {
+  if (a.dimension() <= kDenseCutoff) {
+    return solve_dense(a.to_dense(), b);
+  }
+  SparseLu lu;
+  if (!lu.factorize(a)) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace nvsram::linalg

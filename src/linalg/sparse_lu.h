@@ -1,0 +1,52 @@
+// Sparse LU for MNA systems.
+//
+// Row-wise left-looking LU on a hash-free working row, with threshold
+// partial pivoting restricted to the original + fill pattern.  Circuit
+// matrices are small-bandwidth and diagonally heavy after gmin loading, so
+// this simple scheme is robust and fast enough for multi-thousand-node
+// arrays; the dense path remains the default below `kDenseCutoff` unknowns.
+#pragma once
+
+#include <optional>
+
+#include "linalg/sparse.h"
+
+namespace nvsram::linalg {
+
+inline constexpr std::size_t kDenseCutoff = 160;
+
+class SparseLu {
+ public:
+  // Factorize A (CSR).  Returns false on structural or numerical
+  // singularity.  `pivot_threshold` in (0,1]: relative threshold pivoting —
+  // a diagonal pivot is kept if |diag| >= threshold * max|col candidates|.
+  bool factorize(const CsrMatrix& a, double pivot_threshold = 0.1,
+                 double pivot_floor = 1e-300);
+
+  Vector solve(const Vector& b) const;
+
+  bool valid() const { return valid_; }
+  std::size_t dimension() const { return n_; }
+  std::size_t factor_nonzeros() const { return l_values_.size() + u_values_.size(); }
+
+ private:
+  std::size_t n_ = 0;
+  bool valid_ = false;
+
+  // Row permutation: factor row i of PA corresponds to original row perm_[i];
+  // pinv_ is the inverse map (original row -> factor row).
+  std::vector<std::size_t> perm_;
+  std::vector<std::size_t> pinv_;
+
+  // L (strictly lower, unit diagonal implicit) and U (upper incl. diagonal),
+  // both row-compressed over the factor ordering.
+  std::vector<std::size_t> l_row_ptr_, l_col_;
+  std::vector<double> l_values_;
+  std::vector<std::size_t> u_row_ptr_, u_col_;
+  std::vector<double> u_values_;
+};
+
+// One-shot convenience; picks dense or sparse by dimension.
+std::optional<Vector> solve_sparse(const CsrMatrix& a, const Vector& b);
+
+}  // namespace nvsram::linalg

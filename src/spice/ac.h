@@ -1,0 +1,50 @@
+// Small-signal AC analysis.
+//
+// Linearizes the circuit at its DC operating point (the devices' stamped
+// Jacobian), adds jwC companion terms for every capacitor, applies the AC
+// excitation of the sources, and solves the complex MNA system across a
+// frequency sweep.
+//
+// AC magnitudes are set per source with `set_ac(source, magnitude)`;
+// sources default to 0 (AC ground).  Results come back as a Waveform whose
+// axis is frequency (Hz) with two series per probe: "mag:<label>" (V) and
+// "ph:<label>" (degrees).
+#pragma once
+
+#include <complex>
+#include <unordered_map>
+
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/waveform.h"
+
+namespace nvsram::spice {
+
+struct ACOptions {
+  double f_start = 1e3;
+  double f_stop = 1e9;
+  int points_per_decade = 10;
+  NewtonOptions newton;  // for the operating point
+};
+
+class ACAnalysis {
+ public:
+  ACAnalysis(Circuit& circuit, ACOptions options, std::vector<Probe> probes);
+
+  // Sets the AC excitation magnitude (volts / amperes) of an independent
+  // source; all sources not mentioned stay at 0.
+  void set_ac(const Device* source, double magnitude);
+
+  // Runs the sweep.  Only node-voltage probes are supported (throws
+  // std::invalid_argument otherwise).  Throws std::runtime_error when the
+  // DC operating point fails or a frequency point is singular.
+  Waveform run();
+
+ private:
+  Circuit& circuit_;
+  ACOptions options_;
+  std::vector<Probe> probes_;
+  std::unordered_map<const Device*, double> ac_magnitudes_;
+};
+
+}  // namespace nvsram::spice

@@ -1,0 +1,59 @@
+// Circuit: node registry plus owned devices.
+//
+// Nodes are created by name (`node("Q")`); ground is pre-registered as
+// "0" / "gnd".  Devices are added through the typed `add<T>(...)` helper and
+// owned by the circuit.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spice/device.h"
+
+namespace nvsram::spice {
+
+class Circuit {
+ public:
+  Circuit();
+
+  // Returns the id for `name`, creating the node if it does not exist.
+  NodeId node(const std::string& name);
+
+  // Lookup without creation; throws std::out_of_range for unknown names.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  std::size_t node_count() const { return node_names_.size(); }
+
+  // Constructs a device in place; returns a non-owning pointer for probing.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = dev.get();
+    if (device_index_.count(raw->name())) {
+      throw std::invalid_argument("Circuit: duplicate device name " + raw->name());
+    }
+    device_index_.emplace(raw->name(), devices_.size());
+    devices_.push_back(std::move(dev));
+    return raw;
+  }
+
+  Device* find_device(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  // Builds the unknown layout (node voltages + device branches).
+  MnaLayout build_layout() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, std::size_t> device_index_;
+};
+
+}  // namespace nvsram::spice

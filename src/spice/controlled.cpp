@@ -1,0 +1,42 @@
+#include "spice/controlled.h"
+
+namespace nvsram::spice {
+
+VCVS::VCVS(std::string name, NodeId p, NodeId n, NodeId control_p,
+           NodeId control_n, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(control_p), cn_(control_n),
+      gain_(gain) {}
+
+void VCVS::reserve(MnaLayout& layout) { branch_ = layout.allocate_branch(); }
+
+void VCVS::stamp(StampContext& ctx) {
+  // KCL contributions of the branch current.
+  ctx.mat_nb(p_, branch_, 1.0);
+  ctx.mat_nb(n_, branch_, -1.0);
+  // Branch equation: v(p) - v(n) - gain (v(cp) - v(cn)) = 0.
+  ctx.mat_bn(branch_, p_, 1.0);
+  ctx.mat_bn(branch_, n_, -1.0);
+  ctx.mat_bn(branch_, cp_, -gain_);
+  ctx.mat_bn(branch_, cn_, gain_);
+}
+
+double VCVS::current(const SolutionView& s) const { return s.value(branch_); }
+
+VCCS::VCCS(std::string name, NodeId p, NodeId n, NodeId control_p,
+           NodeId control_n, double transconductance)
+    : Device(std::move(name)), p_(p), n_(n), cp_(control_p), cn_(control_n),
+      gm_(transconductance) {}
+
+void VCCS::stamp(StampContext& ctx) {
+  // i = gm (v(cp) - v(cn)) leaves node p, enters node n.
+  ctx.mat_nn(p_, cp_, gm_);
+  ctx.mat_nn(p_, cn_, -gm_);
+  ctx.mat_nn(n_, cp_, -gm_);
+  ctx.mat_nn(n_, cn_, gm_);
+}
+
+double VCCS::current(const SolutionView& s) const {
+  return gm_ * (s.node_voltage(cp_) - s.node_voltage(cn_));
+}
+
+}  // namespace nvsram::spice

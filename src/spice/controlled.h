@@ -1,0 +1,49 @@
+// Linear controlled sources: VCVS (E card) and VCCS (G card).
+//
+// Used for behavioural modelling (sense amplifiers, clamps, loop-gain
+// probes) and exercised by the AC analysis tests.
+#pragma once
+
+#include "spice/device.h"
+
+namespace nvsram::spice {
+
+// Voltage-controlled voltage source:  v(p) - v(n) = gain * (v(cp) - v(cn)).
+class VCVS : public Device {
+ public:
+  VCVS(std::string name, NodeId p, NodeId n, NodeId control_p, NodeId control_n,
+       double gain);
+
+  void reserve(MnaLayout& layout) override;
+  void stamp(StampContext& ctx) override;
+  // Branch current, + -> - internally (same convention as VSource).
+  double current(const SolutionView& s) const override;
+
+  double gain() const { return gain_; }
+  void set_gain(double g) { gain_ = g; }
+
+ private:
+  NodeId p_, n_, cp_, cn_;
+  double gain_;
+  std::size_t branch_ = MnaLayout::kNoIndex;
+};
+
+// Voltage-controlled current source:
+// current `gm * (v(cp) - v(cn))` flows from node p through the source to n.
+class VCCS : public Device {
+ public:
+  VCCS(std::string name, NodeId p, NodeId n, NodeId control_p, NodeId control_n,
+       double transconductance);
+
+  void stamp(StampContext& ctx) override;
+  double current(const SolutionView& s) const override;
+
+  double gm() const { return gm_; }
+  void set_gm(double g) { gm_ = g; }
+
+ private:
+  NodeId p_, n_, cp_, cn_;
+  double gm_;
+};
+
+}  // namespace nvsram::spice

@@ -1,0 +1,111 @@
+#include "spice/dc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace nvsram::spice {
+
+double evaluate_probe(const Probe& probe, const SolutionView& view, double time,
+                      double accumulated_energy) {
+  switch (probe.kind) {
+    case Probe::Kind::kNodeVoltage:
+      return view.node_voltage(probe.node);
+    case Probe::Kind::kDeviceCurrent:
+      return probe.device->current(view);
+    case Probe::Kind::kSourcePower:
+      return static_cast<const VSource*>(probe.device)->delivered_power(view, time);
+    case Probe::Kind::kSourceEnergy:
+      return accumulated_energy;
+  }
+  return 0.0;
+}
+
+DCAnalysis::DCAnalysis(Circuit& circuit, DCOptions options)
+    : circuit_(circuit), options_(options), layout_(circuit.build_layout()) {}
+
+bool DCAnalysis::try_newton(linalg::Vector& x, const NewtonOptions& opts) {
+  const NewtonResult r =
+      solve_newton(circuit_, layout_, x, /*time=*/0.0, /*dt=*/0.0, /*dc=*/true,
+                   IntegrationMethod::kBackwardEuler, opts);
+  return r.converged;
+}
+
+std::optional<DCSolution> DCAnalysis::solve(const linalg::Vector* initial_guess) {
+  linalg::Vector x(layout_.unknown_count(), 0.0);
+  if (initial_guess && initial_guess->size() == x.size()) x = *initial_guess;
+
+  // 1. Plain Newton from the guess.
+  linalg::Vector attempt = x;
+  if (try_newton(attempt, options_.newton)) {
+    return DCSolution(std::move(attempt), layout_);
+  }
+
+  // 2. gmin stepping: solve a heavily loaded system, then relax gmin.
+  attempt = x;
+  bool ladder_ok = true;
+  NewtonOptions opts = options_.newton;
+  for (double g = options_.gmin_start; g >= options_.gmin_stop * 0.99;
+       g /= options_.gmin_factor) {
+    opts.gmin = g;
+    if (!try_newton(attempt, opts)) {
+      ladder_ok = false;
+      break;
+    }
+  }
+  if (ladder_ok) {
+    opts.gmin = options_.newton.gmin;
+    if (try_newton(attempt, opts)) {
+      return DCSolution(std::move(attempt), layout_);
+    }
+  }
+
+  // 3. Source stepping: ramp all sources from zero.
+  attempt.assign(layout_.unknown_count(), 0.0);
+  opts = options_.newton;
+  for (int s = 1; s <= options_.source_steps; ++s) {
+    opts.source_scale =
+        static_cast<double>(s) / static_cast<double>(options_.source_steps);
+    if (!try_newton(attempt, opts)) {
+      util::log_warn() << "DC: source stepping failed at scale "
+                       << opts.source_scale;
+      return std::nullopt;
+    }
+  }
+  return DCSolution(std::move(attempt), layout_);
+}
+
+DCSweep::DCSweep(Circuit& circuit, std::function<void(double)> setter,
+                 std::vector<double> points, std::vector<Probe> probes,
+                 DCOptions options)
+    : circuit_(circuit), setter_(std::move(setter)), points_(std::move(points)),
+      probes_(std::move(probes)), options_(options) {}
+
+Waveform DCSweep::run() {
+  std::vector<std::string> labels;
+  labels.reserve(probes_.size());
+  for (const auto& p : probes_) labels.push_back(p.label);
+  Waveform wave(std::move(labels));
+
+  std::optional<linalg::Vector> warm;
+  for (double point : points_) {
+    setter_(point);
+    DCAnalysis dc(circuit_, options_);
+    auto sol = dc.solve(warm ? &*warm : nullptr);
+    if (!sol) {
+      throw std::runtime_error("DCSweep: no convergence at point " +
+                               std::to_string(point));
+    }
+    warm = sol->raw();
+    std::vector<double> values;
+    values.reserve(probes_.size());
+    for (const auto& p : probes_) {
+      values.push_back(evaluate_probe(p, sol->view(), 0.0, 0.0));
+    }
+    wave.append(point, values);
+  }
+  return wave;
+}
+
+}  // namespace nvsram::spice

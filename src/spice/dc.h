@@ -1,0 +1,83 @@
+// DC operating-point analysis and DC sweeps.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/newton.h"
+#include "spice/waveform.h"
+
+namespace nvsram::spice {
+
+struct DCOptions {
+  NewtonOptions newton;
+  // gmin stepping ladder used when the plain solve fails.
+  double gmin_start = 1e-2;
+  double gmin_stop = 1e-12;
+  double gmin_factor = 10.0;
+  // Source stepping fallback.
+  int source_steps = 25;
+};
+
+// Result of a DC solve: the unknown vector with its layout kept alive.
+class DCSolution {
+ public:
+  DCSolution(linalg::Vector x, MnaLayout layout)
+      : x_(std::move(x)), layout_(layout) {}
+
+  SolutionView view() const { return SolutionView(x_, layout_); }
+  double node_voltage(NodeId n) const { return view().node_voltage(n); }
+  double device_current(const Device& d) const { return d.current(view()); }
+  const linalg::Vector& raw() const { return x_; }
+  const MnaLayout& layout() const { return layout_; }
+
+ private:
+  linalg::Vector x_;
+  MnaLayout layout_;
+};
+
+class DCAnalysis {
+ public:
+  explicit DCAnalysis(Circuit& circuit, DCOptions options = {});
+
+  // Solve the operating point.  `initial_guess` (optional) warm-starts
+  // Newton.  Returns nullopt if every strategy fails.
+  std::optional<DCSolution> solve(const linalg::Vector* initial_guess = nullptr);
+
+ private:
+  bool try_newton(linalg::Vector& x, const NewtonOptions& opts);
+
+  Circuit& circuit_;
+  DCOptions options_;
+  MnaLayout layout_;
+};
+
+// Sweeps a parameter (applied through `setter`) and records probe values at
+// each solved operating point.  Successive points warm-start from the
+// previous solution, which is what makes tight sweeps cheap.
+class DCSweep {
+ public:
+  DCSweep(Circuit& circuit, std::function<void(double)> setter,
+          std::vector<double> points, std::vector<Probe> probes,
+          DCOptions options = {});
+
+  // Runs the sweep; the waveform's "time" axis carries the swept values.
+  // Throws std::runtime_error if any point fails to converge.
+  Waveform run();
+
+ private:
+  Circuit& circuit_;
+  std::function<void(double)> setter_;
+  std::vector<double> points_;
+  std::vector<Probe> probes_;
+  DCOptions options_;
+};
+
+// Evaluates one probe against a solution (shared by DC sweep and transient).
+double evaluate_probe(const Probe& probe, const SolutionView& view, double time,
+                      double accumulated_energy);
+
+}  // namespace nvsram::spice

@@ -1,0 +1,8 @@
+#include "spice/device.h"
+
+// Device is header-only today; this TU anchors the vtable.
+namespace nvsram::spice {
+namespace {
+// Intentionally empty.
+}
+}  // namespace nvsram::spice

@@ -1,0 +1,37 @@
+// MNA element wrapping the MTJ macromodel with its CIMS state machine.
+//
+// Terminals: `pinned` and `free`.  Positive device current flows
+// pinned -> free through the junction (this is the polarity that drives
+// AP -> P; see models/mtj.h).
+#pragma once
+
+#include "models/mtj.h"
+#include "spice/device.h"
+
+namespace nvsram::spice {
+
+class MTJElement : public Device {
+ public:
+  MTJElement(std::string name, NodeId pinned, NodeId free,
+             models::MTJParams params,
+             models::MtjState initial = models::MtjState::kParallel);
+
+  void stamp(StampContext& ctx) override;
+  bool accept_step(const SolutionView& s, double time, double dt) override;
+  double current(const SolutionView& s) const override;
+
+  models::MtjState state() const { return switching_.state(); }
+  void force_state(models::MtjState s) { switching_.force_state(s); }
+  const models::MTJ& model() const { return mtj_; }
+
+  // Number of completed switching events since construction.
+  int switch_count() const { return switch_count_; }
+
+ private:
+  NodeId pinned_, free_;
+  models::MTJ mtj_;
+  models::SwitchingState switching_;
+  int switch_count_ = 0;
+};
+
+}  // namespace nvsram::spice

@@ -1,0 +1,121 @@
+// SPICE-style netlist text front end.
+//
+// Grammar (case-insensitive card letters, '*' comments, SI-suffixed numbers):
+//
+//   R<name> n+ n- <value>
+//   C<name> n+ n- <value>
+//   L<name> n+ n- <value>
+//   V<name> n+ n- DC <v> | PULSE(v1 v2 td tr tf pw [per]) | PWL(t1 v1 ...)
+//   I<name> n+ n- DC <v> | PULSE(...) | PWL(...)
+//   D<name> anode cathode [is=<A>] [n=<emission>]
+//   M<name> d g s <nfin|pfin> [fins=<k>] [vth=<V>] [l=<m>]
+//   Y<name> pinned free <P|AP> [fast] [tau0=<s>]
+//   E<name> p n cp cn <gain>                 (VCVS)
+//   G<name> p n cp cn <gm>                   (VCCS)
+//   .subckt <name> <port>... / .ends         (definition)
+//   X<name> <node>... <subckt-name>          (instantiation)
+//   .dc <source-name> <start> <stop> <points>
+//   .tran <t_stop> [dt_max]
+//   .ac <vsource-name> <f_start> <f_stop> [points-per-decade]
+//   .probe v(<node>) | i(<device>) | p(<vsource>) | e(<vsource>)
+//   .end
+//
+// Numbers accept engineering suffixes: f p n u m k meg g t (e.g. "4f",
+// "2.2k", "10n", "1meg") on top of ordinary scientific notation.
+//
+// The parser produces a ParsedNetlist that owns the Circuit and can execute
+// the requested analyses (`run_*`), returning Waveforms.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/tran.h"
+#include "spice/waveform.h"
+
+namespace nvsram::spice {
+
+// Thrown with a line number and message on any syntax/semantic error.
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(int line, const std::string& message);
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct DcSweepCard {
+  std::string source;
+  double start = 0.0;
+  double stop = 0.0;
+  int points = 0;
+};
+
+struct TranCard {
+  double t_stop = 0.0;
+  double dt_max = 0.0;  // 0 => auto
+};
+
+struct AcCard {
+  std::string source;
+  double f_start = 0.0;
+  double f_stop = 0.0;
+  int points_per_decade = 10;
+};
+
+class ParsedNetlist {
+ public:
+  Circuit& circuit() { return circuit_; }
+  const Circuit& circuit() const { return circuit_; }
+
+  const std::string& title() const { return title_; }
+  const std::vector<Probe>& probes() const { return probes_; }
+  const std::optional<DcSweepCard>& dc_card() const { return dc_; }
+  const std::optional<TranCard>& tran_card() const { return tran_; }
+  const std::optional<AcCard>& ac_card() const { return ac_; }
+
+  // Execute the .dc card (throws std::logic_error if absent).
+  Waveform run_dc_sweep();
+  // Execute the .tran card (throws std::logic_error if absent).
+  Waveform run_tran();
+  // Execute the .ac card (throws std::logic_error if absent).
+  Waveform run_ac();
+  // Operating point with the default probes evaluated.
+  std::optional<DCSolution> run_op();
+
+  // Builder methods (used by the parser; also handy for programmatic
+  // post-editing of a parsed netlist).
+  void set_title(std::string t) { title_ = std::move(t); }
+  void set_dc_card(DcSweepCard c) { dc_ = c; }
+  void set_tran_card(TranCard c) { tran_ = c; }
+  void set_ac_card(AcCard c) { ac_ = std::move(c); }
+  void add_probe(Probe p) { probes_.push_back(std::move(p)); }
+
+ private:
+  Circuit circuit_;
+  std::string title_;
+  std::vector<Probe> probes_;
+  std::optional<DcSweepCard> dc_;
+  std::optional<TranCard> tran_;
+  std::optional<AcCard> ac_;
+};
+
+class NetlistParser {
+ public:
+  // Parses the full netlist text.  First line is the title (SPICE
+  // convention) unless it starts with a recognized card letter or '.'.
+  std::unique_ptr<ParsedNetlist> parse(const std::string& text);
+  std::unique_ptr<ParsedNetlist> parse_stream(std::istream& in);
+};
+
+// Number with engineering suffix, e.g. "2.2k" -> 2200.  Returns nullopt on
+// malformed input.
+std::optional<double> parse_si_number(const std::string& token);
+
+}  // namespace nvsram::spice

@@ -1,0 +1,86 @@
+#include "spice/newton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
+#include "util/log.h"
+
+namespace nvsram::spice {
+
+NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
+                          linalg::Vector& x, double time, double dt, bool dc,
+                          IntegrationMethod method, const NewtonOptions& opts) {
+  const std::size_t n = layout.unknown_count();
+  const std::size_t node_unknowns = layout.node_count() - 1;
+  x.resize(n, 0.0);
+
+  linalg::SparseBuilder builder(n);
+  linalg::Vector rhs(n, 0.0);
+  NewtonResult result;
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    result.iterations = iter;
+    builder.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampContext ctx(layout, x, builder, rhs, time, dt, dc, method,
+                     opts.source_scale);
+    for (const auto& dev : circuit.devices()) {
+      dev->stamp(ctx);
+    }
+    // gmin from every node to ground: keeps floating nodes and cut-off FET
+    // stacks numerically nonsingular.
+    for (std::size_t i = 0; i < node_unknowns; ++i) {
+      builder.add(i, i, opts.gmin);
+    }
+
+    const linalg::CsrMatrix a(builder);
+    std::optional<linalg::Vector> solved;
+    if (n <= linalg::kDenseCutoff) {
+      solved = linalg::solve_dense(a.to_dense(), rhs);
+    } else {
+      linalg::SparseLu lu;
+      if (lu.factorize(a)) solved = lu.solve(rhs);
+    }
+    if (!solved) {
+      result.singular = true;
+      util::log_warn() << "newton: singular system at t=" << time;
+      return result;
+    }
+
+    // Convergence check on the raw update.
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = std::fabs((*solved)[i] - x[i]);
+      const double abstol = (i < node_unknowns) ? opts.abstol_v : opts.abstol_i;
+      const double tol = abstol + opts.reltol * std::max(std::fabs((*solved)[i]),
+                                                         std::fabs(x[i]));
+      if (delta > tol) {
+        converged = false;
+        break;
+      }
+    }
+    if (converged) {
+      x = std::move(*solved);
+      result.converged = true;
+      return result;
+    }
+
+    // Damped update: limit node-voltage moves to keep the exponential models
+    // inside their linear-ish region.
+    for (std::size_t i = 0; i < n; ++i) {
+      double next = (*solved)[i];
+      if (i < node_unknowns) {
+        const double delta = next - x[i];
+        if (delta > opts.voltage_limit) next = x[i] + opts.voltage_limit;
+        if (delta < -opts.voltage_limit) next = x[i] - opts.voltage_limit;
+      }
+      x[i] = next;
+    }
+  }
+  return result;
+}
+
+}  // namespace nvsram::spice

@@ -1,0 +1,38 @@
+// Newton-Raphson solve of the nonlinear MNA system at one time point.
+//
+// Devices stamp linearized companions (SPICE convention), so each iteration
+// solves A(x_k) x_{k+1} = b(x_k) directly.  Convergence requires the update
+// to fall below abstol + reltol * |x| on every unknown, evaluated BEFORE
+// step limiting so a limited iterate never reads as converged.
+#pragma once
+
+#include "linalg/dense.h"
+#include "spice/circuit.h"
+#include "spice/device.h"
+
+namespace nvsram::spice {
+
+struct NewtonOptions {
+  int max_iterations = 120;
+  double abstol_v = 1e-6;      // volts
+  double abstol_i = 1e-9;      // amperes (branch unknowns)
+  double reltol = 1e-3;
+  double gmin = 1e-12;         // conductance added node -> ground
+  double source_scale = 1.0;   // for source stepping
+  double voltage_limit = 0.4;  // max per-iteration node-voltage update (V)
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  bool singular = false;
+};
+
+// Solves the system at (time, dt); `x` carries the initial guess in and the
+// solution out.  `dc` selects the operating-point companion (capacitors
+// open).  Branch unknown indices start at layout.node_count()-1.
+NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
+                          linalg::Vector& x, double time, double dt, bool dc,
+                          IntegrationMethod method, const NewtonOptions& opts);
+
+}  // namespace nvsram::spice

@@ -1,0 +1,70 @@
+// Adaptive transient analysis.
+//
+// Timestep control: Newton-failure backoff plus a predictor-corrector local
+// error estimate (difference between the linear extrapolation of the last
+// two accepted points and the Newton solution).  Source breakpoints are
+// never stepped across.  Devices with discrete events (MTJ switching)
+// trigger a step-size reset when they fire.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/newton.h"
+#include "spice/waveform.h"
+
+namespace nvsram::spice {
+
+struct TranOptions {
+  double t_stop = 0.0;
+  double dt_initial = 1e-12;
+  double dt_min = 1e-17;
+  double dt_max = 0.0;         // 0 => t_stop / 50
+  double lte_reltol = 2e-3;
+  double lte_abstol = 1e-5;    // volts
+  double lte_trtol = 7.0;      // accept factor on the predictor error
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  NewtonOptions newton;
+  // Thin the recorded waveform to roughly this many samples (the solver
+  // still takes every step; only probe recording is decimated).  0 =>
+  // record every accepted step.
+  std::size_t max_samples = 0;
+};
+
+struct TranStats {
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_failures = 0;
+  std::size_t device_events = 0;
+  std::size_t total_newton_iterations = 0;
+};
+
+class TranAnalysis {
+ public:
+  TranAnalysis(Circuit& circuit, TranOptions options, std::vector<Probe> probes);
+
+  // Runs DC (unless `initial` given) then integrates to t_stop.
+  // Throws std::runtime_error when no convergence is possible.
+  Waveform run(const DCSolution* initial = nullptr);
+
+  const TranStats& stats() const { return stats_; }
+
+  // Total energy delivered by a voltage source over the whole run
+  // (available after run(); keyed by device name).
+  double source_energy(const std::string& name) const;
+  const std::unordered_map<std::string, double>& source_energies() const {
+    return energies_;
+  }
+
+ private:
+  Circuit& circuit_;
+  TranOptions options_;
+  std::vector<Probe> probes_;
+  MnaLayout layout_;
+  TranStats stats_;
+  std::unordered_map<std::string, double> energies_;
+};
+
+}  // namespace nvsram::spice

@@ -1,0 +1,73 @@
+// Probe definitions and simulation result storage with measurements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/device.h"
+#include "spice/elements.h"
+
+namespace nvsram::spice {
+
+// What to record each accepted timestep.
+struct Probe {
+  enum class Kind {
+    kNodeVoltage,     // voltage of `node`
+    kDeviceCurrent,   // device->current()
+    kSourcePower,     // VSource delivered power
+    kSourceEnergy,    // running integral of VSource delivered power
+  };
+
+  static Probe node_voltage(NodeId node, std::string label);
+  static Probe device_current(const Device* device, std::string label);
+  static Probe source_power(const VSource* source, std::string label);
+  static Probe source_energy(const VSource* source, std::string label);
+
+  Kind kind = Kind::kNodeVoltage;
+  NodeId node = kGround;
+  const Device* device = nullptr;
+  std::string label;
+};
+
+// Sampled simulation output: a shared time axis plus named series.
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(std::vector<std::string> labels);
+
+  void append(double time, const std::vector<double>& values);
+
+  std::size_t samples() const { return time_.size(); }
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& series(const std::string& label) const;
+  bool has_series(const std::string& label) const;
+  std::vector<std::string> labels() const;
+
+  // ---- measurements ----
+  // Linear interpolation of a series at time t (clamped to the range).
+  double value_at(const std::string& label, double t) const;
+  double final_value(const std::string& label) const;
+  // Trapezoidal integral of the series over [t0, t1].
+  double integral(const std::string& label, double t0, double t1) const;
+  double average(const std::string& label, double t0, double t1) const;
+  double maximum(const std::string& label) const;
+  double minimum(const std::string& label) const;
+  // First time the series crosses `level` (rising or falling) at/after t_from.
+  std::optional<double> cross_time(const std::string& label, double level,
+                                   double t_from = 0.0) const;
+
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::size_t index_of(const std::string& label) const;
+
+  std::vector<double> time_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::size_t> label_index_;
+  std::vector<std::vector<double>> series_;
+};
+
+}  // namespace nvsram::spice

@@ -1,0 +1,301 @@
+#include "sram/array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvsram::sram {
+
+using spice::NodeId;
+using spice::SourceSpec;
+using spice::VSource;
+
+ArrayHandles build_array(spice::Circuit& ckt, const std::string& prefix,
+                         const models::PaperParams& pp,
+                         const ArrayOptions& opts) {
+  if (opts.rows < 1 || opts.cols < 1) {
+    throw std::invalid_argument("build_array: rows/cols must be >= 1");
+  }
+  ArrayHandles h;
+  h.rows = opts.rows;
+  h.cols = opts.cols;
+  h.vdd = ckt.node(prefix + ".vdd");
+
+  for (int c = 0; c < opts.cols; ++c) {
+    h.bl.push_back(ckt.node(prefix + ".bl" + std::to_string(c)));
+    h.blb.push_back(ckt.node(prefix + ".blb" + std::to_string(c)));
+  }
+
+  const int sw_fins_cell = opts.power_switch_fins_per_cell > 0
+                               ? opts.power_switch_fins_per_cell
+                               : pp.fins_power_switch;
+
+  h.cells.resize(opts.rows);
+  for (int r = 0; r < opts.rows; ++r) {
+    const std::string rp = prefix + ".r" + std::to_string(r);
+    const NodeId wl = ckt.node(rp + ".wl");
+    const NodeId vv = ckt.node(rp + ".vvdd");
+    const NodeId pg = ckt.node(rp + ".pg");
+    h.wordlines.push_back(wl);
+    h.vvdd.push_back(vv);
+    h.pg.push_back(pg);
+    build_power_switch(ckt, rp, pp, h.vdd, vv, pg, sw_fins_cell * opts.cols);
+
+    NodeId sr = spice::kGround;
+    NodeId ctrl = spice::kGround;
+    if (opts.nonvolatile) {
+      sr = ckt.node(rp + ".sr");
+      ctrl = ckt.node(rp + ".ctrl");
+      h.sr.push_back(sr);
+      h.ctrl.push_back(ctrl);
+    }
+
+    h.cells[r].reserve(opts.cols);
+    for (int c = 0; c < opts.cols; ++c) {
+      const std::string cp = rp + ".c" + std::to_string(c);
+      if (opts.nonvolatile) {
+        h.cells[r].push_back(build_nvsram_cell(ckt, cp, pp, vv, wl, h.bl[c],
+                                               h.blb[c], sr, ctrl));
+      } else {
+        h.cells[r].push_back(
+            build_6t_cell(ckt, cp, pp, vv, wl, h.bl[c], h.blb[c]));
+      }
+    }
+  }
+  return h;
+}
+
+// ---- ArrayTestbench ----------------------------------------------------------
+
+std::string ArrayTestbench::q_label(int r, int c) {
+  return "Q[" + std::to_string(r) + "][" + std::to_string(c) + "]";
+}
+
+ArrayTestbench::ArrayTestbench(models::PaperParams pp, ArrayOptions opts)
+    : pp_(pp), opts_(opts) {
+  handles_ = build_array(circuit_, "a", pp_, opts_);
+
+  vdd_.source = circuit_.add<VSource>("Vdd", handles_.vdd, spice::kGround,
+                                      SourceSpec::dc(pp_.vdd));
+  vdd_.value = pp_.vdd;
+  all_tracks_.push_back(&vdd_);
+
+  wl_.resize(opts_.rows);
+  pg_.resize(opts_.rows);
+  if (opts_.nonvolatile) {
+    sr_.resize(opts_.rows);
+    ctrl_.resize(opts_.rows);
+  }
+  for (int r = 0; r < opts_.rows; ++r) {
+    const std::string rn = std::to_string(r);
+    wl_[r].source = circuit_.add<VSource>("Vwl" + rn, handles_.wordlines[r],
+                                          spice::kGround, SourceSpec::dc(0.0));
+    pg_[r].source = circuit_.add<VSource>("Vpg" + rn, handles_.pg[r],
+                                          spice::kGround, SourceSpec::dc(0.0));
+    all_tracks_.push_back(&wl_[r]);
+    all_tracks_.push_back(&pg_[r]);
+    if (opts_.nonvolatile) {
+      sr_[r].source = circuit_.add<VSource>("Vsr" + rn, handles_.sr[r],
+                                            spice::kGround, SourceSpec::dc(0.0));
+      ctrl_[r].source =
+          circuit_.add<VSource>("Vctrl" + rn, handles_.ctrl[r], spice::kGround,
+                                SourceSpec::dc(pp_.vctrl_normal));
+      ctrl_[r].value = pp_.vctrl_normal;
+      all_tracks_.push_back(&sr_[r]);
+      all_tracks_.push_back(&ctrl_[r]);
+    }
+  }
+
+  bl_.resize(opts_.cols);
+  blb_.resize(opts_.cols);
+  for (int c = 0; c < opts_.cols; ++c) {
+    const std::string cn = std::to_string(c);
+    bl_[c].source = circuit_.add<VSource>("Vbl" + cn, handles_.bl[c],
+                                          spice::kGround, SourceSpec::dc(pp_.vdd));
+    blb_[c].source = circuit_.add<VSource>(
+        "Vblb" + cn, handles_.blb[c], spice::kGround, SourceSpec::dc(pp_.vdd));
+    bl_[c].value = pp_.vdd;
+    blb_[c].value = pp_.vdd;
+    all_tracks_.push_back(&bl_[c]);
+    all_tracks_.push_back(&blb_[c]);
+  }
+}
+
+void ArrayTestbench::set_level(Track& track, double t, double v, double ramp) {
+  if (ramp <= 0.0) ramp = opts_.slew;
+  double start = t;
+  if (!track.points.empty()) {
+    start = std::max(start, track.points.back().first + opts_.slew * 0.01);
+  }
+  if (v == track.value) return;
+  track.points.emplace_back(start, track.value);
+  track.points.emplace_back(start + ramp, v);
+  track.value = v;
+}
+
+void ArrayTestbench::add_phase(const std::string& name, double t0, double t1) {
+  phases_.push_back({name, t0, t1});
+}
+
+void ArrayTestbench::op_write_row(int row, const std::vector<bool>& pattern) {
+  if (row < 0 || row >= opts_.rows) {
+    throw std::out_of_range("op_write_row: bad row");
+  }
+  if (static_cast<int>(pattern.size()) != opts_.cols) {
+    throw std::invalid_argument("op_write_row: pattern width != cols");
+  }
+  const double T = pp_.clock_period();
+  const double t0 = t_;
+  for (int c = 0; c < opts_.cols; ++c) {
+    Track& low = pattern[c] ? blb_[c] : bl_[c];
+    set_level(low, t0 + 0.05 * T, 0.0);
+  }
+  set_level(wl_[row], t0 + 0.15 * T, pp_.vdd);
+  set_level(wl_[row], t0 + 0.78 * T, 0.0);
+  for (int c = 0; c < opts_.cols; ++c) {
+    Track& low = pattern[c] ? blb_[c] : bl_[c];
+    set_level(low, t0 + 0.85 * T, pp_.vdd);
+  }
+  add_phase("write_row" + std::to_string(row), t0, t0 + T);
+  t_ = t0 + T;
+}
+
+void ArrayTestbench::op_read_row(int row) {
+  if (row < 0 || row >= opts_.rows) {
+    throw std::out_of_range("op_read_row: bad row");
+  }
+  const double T = pp_.clock_period();
+  const double t0 = t_;
+  set_level(wl_[row], t0 + 0.15 * T, pp_.vdd);
+  set_level(wl_[row], t0 + 0.70 * T, 0.0);
+  add_phase("read_row" + std::to_string(row), t0, t0 + T);
+  t_ = t0 + T;
+}
+
+void ArrayTestbench::op_idle(double duration) {
+  add_phase("idle", t_, t_ + duration);
+  t_ += duration;
+}
+
+void ArrayTestbench::store_row(int row) {
+  const double step = pp_.store_pulse + 2e-9;
+  const double t0 = t_;
+  set_level(ctrl_[row], t0, 0.0);
+  set_level(sr_[row], t0, pp_.vsr);
+  add_phase("store_h_row" + std::to_string(row), t0, t0 + step);
+  set_level(ctrl_[row], t0 + step, pp_.vctrl_store);
+  add_phase("store_l_row" + std::to_string(row), t0 + step, t0 + 2 * step);
+  set_level(sr_[row], t0 + 2 * step, 0.0);
+  set_level(ctrl_[row], t0 + 2 * step, 0.0);
+  // Row powers off right after its store (the NVPG sequencing assumption).
+  set_level(pg_[row], t0 + 2 * step + 3 * opts_.slew, pp_.vpg_supercutoff);
+  t_ = t0 + 2 * step + 6 * opts_.slew;
+}
+
+void ArrayTestbench::op_store_all_rows() {
+  if (!opts_.nonvolatile) {
+    throw std::logic_error("op_store_all_rows: volatile array");
+  }
+  const double t0 = t_;
+  for (int r = 0; r < opts_.rows; ++r) store_row(r);
+  add_phase("store_all", t0, t_);
+}
+
+void ArrayTestbench::op_shutdown_all(double duration) {
+  const double t0 = t_;
+  for (int r = 0; r < opts_.rows; ++r) {
+    set_level(pg_[r], t0, pp_.vpg_supercutoff);
+    if (opts_.nonvolatile) set_level(ctrl_[r], t0, 0.0);
+  }
+  for (int c = 0; c < opts_.cols; ++c) {
+    set_level(bl_[c], t0, 0.0);
+    set_level(blb_[c], t0, 0.0);
+  }
+  add_phase("shutdown", t0, t0 + duration);
+  t_ = t0 + duration;
+}
+
+void ArrayTestbench::restore_row(int row) {
+  const double t0 = t_;
+  set_level(sr_[row], t0, pp_.vsr);
+  set_level(pg_[row], t0 + opts_.slew, 0.0, 0.5e-9);
+  const double t1 = t0 + 0.5e-9 + 1.5e-9;
+  set_level(sr_[row], t1, 0.0);
+  set_level(ctrl_[row], t1, pp_.vctrl_normal);
+  add_phase("restore_row" + std::to_string(row), t0, t1 + 3 * opts_.slew);
+  t_ = t1 + 3 * opts_.slew;
+}
+
+void ArrayTestbench::op_restore_all_rows() {
+  const double t0 = t_;
+  for (int c = 0; c < opts_.cols; ++c) {
+    set_level(bl_[c], t0, pp_.vdd);
+    set_level(blb_[c], t0, pp_.vdd);
+  }
+  for (int r = 0; r < opts_.rows; ++r) restore_row(r);
+  add_phase("restore_all", t0, t_);
+}
+
+ArrayTestbench::Result ArrayTestbench::run() {
+  if (phases_.empty()) {
+    throw std::logic_error("ArrayTestbench::run: nothing scheduled");
+  }
+  for (Track* tr : all_tracks_) {
+    if (tr->source && !tr->points.empty()) {
+      tr->source->set_spec(SourceSpec::pwl(tr->points));
+    }
+  }
+
+  std::vector<spice::Probe> probes;
+  for (int r = 0; r < opts_.rows; ++r) {
+    for (int c = 0; c < opts_.cols; ++c) {
+      probes.push_back(
+          spice::Probe::node_voltage(handles_.cells[r][c].q, q_label(r, c)));
+    }
+    probes.push_back(spice::Probe::node_voltage(
+        handles_.vvdd[r], "VVDD[" + std::to_string(r) + "]"));
+  }
+  std::vector<std::string> names;
+  for (Track* tr : all_tracks_) {
+    if (!tr->source) continue;
+    names.push_back(tr->source->name());
+    probes.push_back(
+        spice::Probe::source_energy(tr->source, "E:" + tr->source->name()));
+  }
+
+  spice::TranOptions topt;
+  topt.t_stop = t_ + 1e-9;
+  topt.dt_max = std::clamp(topt.t_stop / 1000.0, 50e-12, 5e-9);
+  spice::TranAnalysis tran(circuit_, topt, probes);
+  Result out{tran.run(), phases_, names};
+  return out;
+}
+
+double ArrayTestbench::Result::energy(double t0, double t1) const {
+  double sum = 0.0;
+  for (const auto& name : sources) {
+    sum += wave.value_at("E:" + name, t1) - wave.value_at("E:" + name, t0);
+  }
+  return sum;
+}
+
+double ArrayTestbench::Result::total_energy() const {
+  double sum = 0.0;
+  for (const auto& name : sources) {
+    sum += wave.final_value("E:" + name);
+  }
+  return sum;
+}
+
+const PhaseWindow& ArrayTestbench::Result::phase(const std::string& name,
+                                                 int occurrence) const {
+  int seen = 0;
+  for (const auto& ph : phases) {
+    if (ph.name == name) {
+      if (seen == occurrence) return ph;
+      ++seen;
+    }
+  }
+  throw std::out_of_range("ArrayTestbench::Result: no phase " + name);
+}
+
+}  // namespace nvsram::sram

@@ -1,0 +1,105 @@
+#include "sram/cell.h"
+
+namespace nvsram::sram {
+
+using spice::Circuit;
+using spice::NodeId;
+using spice::add_finfet;
+
+namespace {
+
+// Applies the optional perturbation hook to nominal FET parameters.
+models::FinFETParams varied(const FetVary& vary, const std::string& name,
+                            models::FinFETParams params) {
+  if (vary) vary(name, params);
+  return params;
+}
+
+models::MTJParams varied(const MtjVary& vary, const std::string& name,
+                         models::MTJParams params) {
+  if (vary) vary(name, params);
+  return params;
+}
+
+}  // namespace
+
+CellHandles build_6t_cell(Circuit& ckt, const std::string& prefix,
+                          const models::PaperParams& pp, NodeId vvdd, NodeId wl,
+                          NodeId bl, NodeId blb, const FetVary& fet_vary) {
+  CellHandles h;
+  h.q = ckt.node(prefix + ".Q");
+  h.qb = ckt.node(prefix + ".QB");
+  h.bl = bl;
+  h.blb = blb;
+  h.wl = wl;
+  h.vvdd = vvdd;
+
+  // Inverter driving Q (input QB): PMOS load + NMOS driver.
+  add_finfet(ckt, prefix + ".pu_q", /*drain=*/h.q, /*gate=*/h.qb,
+             /*source=*/vvdd,
+             varied(fet_vary, prefix + ".pu_q", pp.pmos(pp.fins_load)));
+  add_finfet(ckt, prefix + ".pd_q", /*drain=*/h.q, /*gate=*/h.qb,
+             /*source=*/spice::kGround,
+             varied(fet_vary, prefix + ".pd_q", pp.nmos(pp.fins_driver)));
+  // Inverter driving QB (input Q).
+  add_finfet(ckt, prefix + ".pu_qb", h.qb, h.q, vvdd,
+             varied(fet_vary, prefix + ".pu_qb", pp.pmos(pp.fins_load)));
+  add_finfet(ckt, prefix + ".pd_qb", h.qb, h.q, spice::kGround,
+             varied(fet_vary, prefix + ".pd_qb", pp.nmos(pp.fins_driver)));
+  // Access transistors.
+  add_finfet(ckt, prefix + ".ax_q", /*drain=*/bl, /*gate=*/wl, /*source=*/h.q,
+             varied(fet_vary, prefix + ".ax_q", pp.nmos(pp.fins_access)));
+  add_finfet(ckt, prefix + ".ax_qb", blb, wl, h.qb,
+             varied(fet_vary, prefix + ".ax_qb", pp.nmos(pp.fins_access)));
+  return h;
+}
+
+CellHandles build_nvsram_cell(Circuit& ckt, const std::string& prefix,
+                              const models::PaperParams& pp, NodeId vvdd,
+                              NodeId wl, NodeId bl, NodeId blb, NodeId sr,
+                              NodeId ctrl, models::MtjState init_q,
+                              models::MtjState init_qb, const FetVary& fet_vary,
+                              const MtjVary& mtj_vary) {
+  CellHandles h = build_6t_cell(ckt, prefix, pp, vvdd, wl, bl, blb, fet_vary);
+  h.sr = sr;
+  h.ctrl = ctrl;
+  h.nonvolatile = true;
+
+  // PS-FinFET branch on the Q side:
+  //     Q -- nFET(gate = SR) -- Y -- MTJ -- CTRL
+  // The FET sits next to the storage node so both store steps see full gate
+  // drive (H-store: source near CTRL potential; L-store: source is the
+  // grounded storage node).  MTJ free terminal faces Y, pinned faces CTRL:
+  //   * H-store current Q -> Y -> MTJ -> CTRL enters the free terminal
+  //     (negative in the model convention)  =>  P -> AP.
+  //   * L-store current CTRL -> MTJ -> Y -> Q enters the pinned terminal
+  //     (positive)  =>  AP -> P.
+  const NodeId yq = ckt.node(prefix + ".YQ");
+  add_finfet(ckt, prefix + ".ps_q", /*drain=*/h.q, /*gate=*/sr, /*source=*/yq,
+             varied(fet_vary, prefix + ".ps_q", pp.nmos(pp.fins_ps)));
+  h.mtj_q = ckt.add<spice::MTJElement>(
+      prefix + ".mtj_q", /*pinned=*/ctrl, /*free=*/yq,
+      varied(mtj_vary, prefix + ".mtj_q", pp.mtj), init_q);
+
+  const NodeId yqb = ckt.node(prefix + ".YQB");
+  add_finfet(ckt, prefix + ".ps_qb", h.qb, sr, yqb,
+             varied(fet_vary, prefix + ".ps_qb", pp.nmos(pp.fins_ps)));
+  h.mtj_qb = ckt.add<spice::MTJElement>(
+      prefix + ".mtj_qb", ctrl, yqb,
+      varied(mtj_vary, prefix + ".mtj_qb", pp.mtj), init_qb);
+  return h;
+}
+
+spice::FinFETElement* build_power_switch(Circuit& ckt, const std::string& prefix,
+                                         const models::PaperParams& pp,
+                                         NodeId vdd, NodeId vvdd, NodeId pg,
+                                         int fins) {
+  // Header pFET: source at VDD, drain at virtual VDD, gate on the PG line.
+  // High-Vth device (MTCMOS) so the shutdown mode actually cuts leakage.
+  models::FinFETParams sw = pp.pmos(fins);
+  sw.vth0 = pp.power_switch_vth;
+  return add_finfet(ckt, prefix + ".psw", /*drain=*/vvdd, /*gate=*/pg,
+                    /*source=*/vdd, sw);
+}
+
+}  // namespace nvsram::sram

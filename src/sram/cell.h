@@ -1,0 +1,73 @@
+// Netlist builders for the paper's cells (Fig. 2).
+//
+// * 6T-SRAM cell: cross-coupled inverters + access FETs, powered from a
+//   virtual-VDD rail.
+// * NV-SRAM cell: the 6T core plus two PS-FinFET branches
+//       Q -- PS-FinFET(gate = SR) -- Y -- MTJ(free | pinned) -- CTRL
+//   The FET sits next to the storage node so both store steps see full gate
+//   drive.  The MTJ pinned terminal faces the CTRL line, so the H-store
+//   current (storage node -> CTRL) is negative in the MTJ convention and
+//   drives P -> AP, matching the paper's I_MTJ^{P->AP} H-store and
+//   I_MTJ^{AP->P} L-store.
+// * Header power switch: p-channel FinFET between VDD and virtual VDD whose
+//   gate is the PG line (driven above VDD for super cutoff).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "models/paper_params.h"
+#include "spice/circuit.h"
+#include "spice/fet_element.h"
+#include "spice/mtj_element.h"
+
+namespace nvsram::sram {
+
+// Per-device parameter perturbation hooks (Monte-Carlo mismatch).  Called
+// with the device name and the nominal parameters just before the device is
+// instantiated; mutate in place.  Empty std::function = no variation.
+using FetVary = std::function<void(const std::string&, models::FinFETParams&)>;
+using MtjVary = std::function<void(const std::string&, models::MTJParams&)>;
+
+// Handles to the interesting parts of one built cell.
+struct CellHandles {
+  spice::NodeId q = spice::kGround;
+  spice::NodeId qb = spice::kGround;
+  spice::NodeId bl = spice::kGround;
+  spice::NodeId blb = spice::kGround;
+  spice::NodeId wl = spice::kGround;
+  spice::NodeId vvdd = spice::kGround;
+  // NV-SRAM only:
+  spice::NodeId sr = spice::kGround;
+  spice::NodeId ctrl = spice::kGround;
+  spice::MTJElement* mtj_q = nullptr;   // on the Q side
+  spice::MTJElement* mtj_qb = nullptr;  // on the QB side
+  bool nonvolatile = false;
+};
+
+// Builds the volatile 6T core.  All rail/line nodes are passed in so cells
+// can share word lines, bit lines and power domains.  `prefix` namespaces
+// device and internal node names.
+CellHandles build_6t_cell(spice::Circuit& ckt, const std::string& prefix,
+                          const models::PaperParams& pp, spice::NodeId vvdd,
+                          spice::NodeId wl, spice::NodeId bl, spice::NodeId blb,
+                          const FetVary& fet_vary = {});
+
+// Builds the NV-SRAM cell: 6T core + two PS-FinFET/MTJ branches.
+// Both MTJs start in the given states (defaults: parallel).
+CellHandles build_nvsram_cell(
+    spice::Circuit& ckt, const std::string& prefix, const models::PaperParams& pp,
+    spice::NodeId vvdd, spice::NodeId wl, spice::NodeId bl, spice::NodeId blb,
+    spice::NodeId sr, spice::NodeId ctrl,
+    models::MtjState init_q = models::MtjState::kParallel,
+    models::MtjState init_qb = models::MtjState::kParallel,
+    const FetVary& fet_vary = {}, const MtjVary& mtj_vary = {});
+
+// Header power switch (p-FinFET, `fins` fins): vdd -> vvdd, gate = pg.
+spice::FinFETElement* build_power_switch(spice::Circuit& ckt,
+                                         const std::string& prefix,
+                                         const models::PaperParams& pp,
+                                         spice::NodeId vdd, spice::NodeId vvdd,
+                                         spice::NodeId pg, int fins);
+
+}  // namespace nvsram::sram

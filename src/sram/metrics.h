@@ -1,0 +1,39 @@
+// Additional bit-cell design metrics beyond SNM.
+//
+// * write margin — how far the bitline must be pulled below VDD before the
+//   cell flips during a write (higher = easier writes),
+// * read current — the bitline discharge current during a read (sensing
+//   speed), and
+// * data retention voltage (DRV) — the minimum virtual-VDD at which the
+//   bistable core still holds data.  The paper's 0.7 V sleep rail must sit
+//   comfortably above the DRV; this module quantifies the margin.
+#pragma once
+
+#include "models/paper_params.h"
+#include "sram/testbench.h"
+
+namespace nvsram::sram {
+
+struct CellMetrics {
+  double write_margin = 0.0;       // V below VDD at which the cell flips
+  double read_current = 0.0;       // A, worst-case bitline discharge
+  double retention_voltage = 0.0;  // V, minimum VVDD that holds data
+};
+
+// Write margin: with WL high and one bitline swept down from VDD, the level
+// at which the cell flips.  Returns VDD - V_flip (bigger = more margin).
+double write_margin(const models::PaperParams& pp, CellKind kind);
+
+// Read current: cell holding '1', WL high, both bitlines at VDD — the
+// current pulled out of BLB (the low-side bitline) at the start of a read.
+double read_current(const models::PaperParams& pp, CellKind kind);
+
+// Data retention voltage: smallest rail voltage with a positive hold SNM,
+// found by bisection on the SNM-vs-VVDD curve.  `min_snm` adds a noise
+// floor requirement (a cell with 1 mV of margin does not really retain).
+double data_retention_voltage(const models::PaperParams& pp, CellKind kind,
+                              double min_snm = 0.02);
+
+CellMetrics measure_cell_metrics(const models::PaperParams& pp, CellKind kind);
+
+}  // namespace nvsram::sram

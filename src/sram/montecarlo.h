@@ -1,0 +1,70 @@
+// Monte-Carlo mismatch analysis for the NV-SRAM cell.
+//
+// The paper's aggressive (N_FL, N_FD) = (1,1) sizing trades stability for
+// area and relies on "bias assist" to recover margin; this module quantifies
+// that trade-off (an extension the paper leaves implicit).  Each sample
+// draws independent per-device perturbations:
+//   * FinFET Vth shift       ~ N(0, vth_sigma)      (RDF / WFV mismatch)
+//   * FinFET kp relative     ~ N(0, kp_rel_sigma)   (mobility / geometry)
+//   * MTJ RA relative        ~ N(0, ra_rel_sigma)   (barrier thickness)
+//   * MTJ Jc relative        ~ N(0, jc_rel_sigma)   (anisotropy)
+// and evaluates hold/read SNM of a mismatched inverter pair and the store
+// current margins of a mismatched cell.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "models/paper_params.h"
+#include "sram/snm.h"
+#include "sram/testbench.h"
+#include "util/stats.h"
+
+namespace nvsram::sram {
+
+struct VariationSpec {
+  double vth_sigma = 0.02;      // V
+  double kp_rel_sigma = 0.03;   // fraction
+  double ra_rel_sigma = 0.05;   // fraction
+  double jc_rel_sigma = 0.05;   // fraction
+  unsigned seed = 12345;
+};
+
+struct MonteCarloSummary {
+  util::RunningStats stats;
+  int failures = 0;   // samples below the pass threshold (or DC failures)
+  int samples = 0;
+  double yield() const {
+    return samples == 0 ? 0.0
+                        : 1.0 - static_cast<double>(failures) / samples;
+  }
+};
+
+class MonteCarlo {
+ public:
+  MonteCarlo(models::PaperParams pp, VariationSpec spec);
+
+  // Hold SNM of a mismatched inverter pair (V); `min_snm` sets the failure
+  // threshold for yield accounting.
+  MonteCarloSummary hold_snm(int samples, CellKind kind = CellKind::kNvSram,
+                             double min_snm = 0.10);
+  // Read SNM with the access transistor on.
+  MonteCarloSummary read_snm(int samples, CellKind kind = CellKind::kNvSram,
+                             double min_snm = 0.02);
+
+  // Worst-case store overdrive min(|I_H|, I_L) / Ic of a mismatched cell at
+  // the Table I biases; failure = overdrive below 1 (no switching).
+  MonteCarloSummary store_margin(int samples, double min_overdrive = 1.0);
+
+  // One draw of the FET / MTJ perturbation hooks (exposed for reuse by the
+  // array tests and benches).
+  FetVary draw_fet_vary();
+  MtjVary draw_mtj_vary();
+
+ private:
+  models::PaperParams pp_;
+  VariationSpec spec_;
+  std::mt19937 rng_;
+};
+
+}  // namespace nvsram::sram

@@ -1,0 +1,281 @@
+#include "sram/nvff.h"
+
+#include <stdexcept>
+
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/fet_element.h"
+#include "spice/tran.h"
+
+namespace nvsram::sram {
+
+using spice::Circuit;
+using spice::NodeId;
+using spice::SourceSpec;
+using spice::VSource;
+
+void build_transmission_gate(Circuit& ckt, const std::string& name,
+                             const models::PaperParams& pp, NodeId a, NodeId b,
+                             NodeId c, NodeId cb) {
+  spice::add_finfet(ckt, name + ".n", /*drain=*/a, /*gate=*/c, /*source=*/b,
+                    pp.nmos(1));
+  spice::add_finfet(ckt, name + ".p", a, cb, b, pp.pmos(1));
+}
+
+namespace {
+
+void build_inverter(Circuit& ckt, const std::string& name,
+                    const models::PaperParams& pp, NodeId in, NodeId out,
+                    NodeId vvdd) {
+  spice::add_finfet(ckt, name + ".pu", out, in, vvdd, pp.pmos(1));
+  spice::add_finfet(ckt, name + ".pd", out, in, spice::kGround, pp.nmos(1));
+}
+
+}  // namespace
+
+NvffHandles build_nvff(Circuit& ckt, const std::string& prefix,
+                       const models::PaperParams& pp, NodeId d, NodeId clk,
+                       NodeId vvdd, NodeId sr, NodeId ctrl, bool nonvolatile) {
+  NvffHandles h;
+  h.d = d;
+  h.clk = clk;
+  h.vvdd = vvdd;
+  h.sr = sr;
+  h.ctrl = ctrl;
+
+  // Local inverted clock.
+  const NodeId clkb = ckt.node(prefix + ".clkb");
+  build_inverter(ckt, prefix + ".invc", pp, clk, clkb, vvdd);
+
+  // ---- master latch: transparent while clk = 1 ----
+  const NodeId ma = ckt.node(prefix + ".ma");
+  const NodeId mb = ckt.node(prefix + ".mb");
+  const NodeId mfb = ckt.node(prefix + ".mfb");
+  build_transmission_gate(ckt, prefix + ".tg_in", pp, d, ma, clk, clkb);
+  build_inverter(ckt, prefix + ".inv1", pp, ma, mb, vvdd);
+  build_inverter(ckt, prefix + ".inv2", pp, mb, mfb, vvdd);
+  // Feedback closes while clk = 0.
+  build_transmission_gate(ckt, prefix + ".tg_mfb", pp, mfb, ma, clkb, clk);
+
+  // ---- slave latch: transparent while clk = 0, holds while clk = 1 ----
+  const NodeId sc = ckt.node(prefix + ".QB");  // complement node
+  const NodeId q = ckt.node(prefix + ".Q");
+  const NodeId sfb = ckt.node(prefix + ".sfb");
+  h.q = q;
+  h.qb = sc;
+  build_transmission_gate(ckt, prefix + ".tg_mid", pp, mb, sc, clkb, clk);
+  build_inverter(ckt, prefix + ".inv3", pp, sc, q, vvdd);
+  build_inverter(ckt, prefix + ".inv4", pp, q, sfb, vvdd);
+  // Feedback closes while clk = 1 (the hold / retention state).
+  build_transmission_gate(ckt, prefix + ".tg_sfb", pp, sfb, sc, clk, clkb);
+
+  if (nonvolatile) {
+    // PS-FinFET + MTJ branches on the slave's complementary nodes, exactly
+    // as in the NV-SRAM cell (FET next to the latch node, MTJ to CTRL).
+    const NodeId yq = ckt.node(prefix + ".YQ");
+    spice::add_finfet(ckt, prefix + ".ps_q", q, sr, yq, pp.nmos(pp.fins_ps));
+    h.mtj_q = ckt.add<spice::MTJElement>(prefix + ".mtj_q", ctrl, yq, pp.mtj,
+                                         models::MtjState::kParallel);
+    const NodeId yqb = ckt.node(prefix + ".YQB");
+    spice::add_finfet(ckt, prefix + ".ps_qb", sc, sr, yqb, pp.nmos(pp.fins_ps));
+    h.mtj_qb = ckt.add<spice::MTJElement>(prefix + ".mtj_qb", ctrl, yqb,
+                                          pp.mtj, models::MtjState::kParallel);
+  }
+  return h;
+}
+
+// ---- NvffTestbench ------------------------------------------------------------
+
+NvffTestbench::NvffTestbench(models::PaperParams pp, bool nonvolatile)
+    : pp_(pp), nonvolatile_(nonvolatile) {
+  n_vdd_ = circuit_.node("vdd");
+  n_pg_ = circuit_.node("pg");
+  const NodeId n_vvdd = circuit_.node("vvdd");
+  const NodeId n_d = circuit_.node("d");
+  const NodeId n_clk = circuit_.node("clk");
+  const NodeId n_sr = circuit_.node("sr");
+  const NodeId n_ctrl = circuit_.node("ctrl");
+
+  vdd_.source = circuit_.add<VSource>("Vvdd", n_vdd_, spice::kGround,
+                                      SourceSpec::dc(pp_.vdd));
+  vdd_.value = pp_.vdd;
+  pg_.source = circuit_.add<VSource>("Vpg", n_pg_, spice::kGround,
+                                     SourceSpec::dc(0.0));
+  d_.source = circuit_.add<VSource>("Vd", n_d, spice::kGround,
+                                    SourceSpec::dc(0.0));
+  // Idle state: clk high (slave holding) — the retention-capable state.
+  clk_.source = circuit_.add<VSource>("Vclk", n_clk, spice::kGround,
+                                      SourceSpec::dc(pp_.vdd));
+  clk_.value = pp_.vdd;
+  sr_.source = circuit_.add<VSource>("Vsr", n_sr, spice::kGround,
+                                     SourceSpec::dc(0.0));
+  ctrl_.source = circuit_.add<VSource>("Vctrl", n_ctrl, spice::kGround,
+                                       SourceSpec::dc(pp_.vctrl_normal));
+  ctrl_.value = pp_.vctrl_normal;
+
+  build_power_switch(circuit_, "top", pp_, n_vdd_, n_vvdd, n_pg_,
+                     pp_.fins_power_switch);
+  handles_ = build_nvff(circuit_, "ff", pp_, n_d, n_clk, n_vvdd, n_sr, n_ctrl,
+                        nonvolatile_);
+  tracks_ = {&vdd_, &pg_, &d_, &clk_, &sr_, &ctrl_};
+}
+
+void NvffTestbench::set_level(Track& track, double t, double v, double ramp) {
+  if (ramp <= 0.0) ramp = slew_;
+  double start = t;
+  if (!track.points.empty()) {
+    start = std::max(start, track.points.back().first + slew_ * 0.01);
+  }
+  if (v == track.value) return;
+  track.points.emplace_back(start, track.value);
+  track.points.emplace_back(start + ramp, v);
+  track.value = v;
+}
+
+void NvffTestbench::add_phase(const std::string& name, double t0, double t1) {
+  phases_.push_back({name, t0, t1});
+}
+
+void NvffTestbench::op_clock_data(bool data) {
+  const double T = pp_.clock_period();
+  const double t0 = t_;
+  // Data valid, then clk high (master samples), then falling edge at the
+  // midpoint propagates to Q, then clk returns high to re-enter hold.
+  set_level(d_, t0 + 0.05 * T, data ? pp_.vdd : 0.0);
+  set_level(clk_, t0 + 0.15 * T, pp_.vdd);   // (already high on first use)
+  set_level(clk_, t0 + 0.50 * T, 0.0);       // falling edge: Q updates
+  set_level(clk_, t0 + 0.90 * T, pp_.vdd);   // back to hold
+  add_phase(data ? "clock1" : "clock0", t0, t0 + T);
+  t_ = t0 + T;
+}
+
+void NvffTestbench::op_hold(double duration) {
+  add_phase("hold", t_, t_ + duration);
+  t_ += duration;
+}
+
+void NvffTestbench::op_store() {
+  if (!nonvolatile_) throw std::logic_error("op_store: volatile FF");
+  const double step = pp_.store_pulse + 2e-9;
+  const double t0 = t_;
+  set_level(ctrl_, t0, 0.0);
+  set_level(sr_, t0, pp_.vsr);
+  add_phase("store_h", t0, t0 + step);
+  set_level(ctrl_, t0 + step, pp_.vctrl_store);
+  add_phase("store_l", t0 + step, t0 + 2 * step);
+  set_level(sr_, t0 + 2 * step, 0.0);
+  set_level(ctrl_, t0 + 2 * step, pp_.vctrl_normal);
+  t_ = t0 + 2 * step + 4 * slew_;
+}
+
+void NvffTestbench::op_shutdown(double duration) {
+  const double t0 = t_;
+  set_level(pg_, t0, pp_.vpg_supercutoff);
+  set_level(ctrl_, t0, 0.0);
+  set_level(d_, t0, 0.0);
+  add_phase("shutdown", t0, t0 + duration);
+  t_ = t0 + duration;
+}
+
+void NvffTestbench::op_restore() {
+  const double t0 = t_;
+  if (nonvolatile_) set_level(sr_, t0, pp_.vsr);
+  set_level(pg_, t0 + slew_, 0.0, 0.5e-9);
+  const double t1 = t0 + 0.5e-9 + 1.5e-9;
+  if (nonvolatile_) {
+    set_level(sr_, t1, 0.0);
+    set_level(ctrl_, t1, pp_.vctrl_normal);
+  }
+  add_phase("restore", t0, t1 + 4 * slew_);
+  t_ = t1 + 4 * slew_;
+}
+
+NvffTestbench::Result NvffTestbench::run() {
+  if (phases_.empty()) throw std::logic_error("NvffTestbench: nothing scheduled");
+  for (Track* tr : tracks_) {
+    if (tr->source && !tr->points.empty()) {
+      tr->source->set_spec(SourceSpec::pwl(tr->points));
+    }
+  }
+  std::vector<spice::Probe> probes;
+  probes.push_back(spice::Probe::node_voltage(handles_.q, "V(Q)"));
+  probes.push_back(spice::Probe::node_voltage(handles_.qb, "V(QB)"));
+  probes.push_back(
+      spice::Probe::node_voltage(circuit_.find_node("vvdd"), "V(VVDD)"));
+  std::vector<std::string> names;
+  for (Track* tr : tracks_) {
+    if (!tr->source) continue;
+    names.push_back(tr->source->name());
+    probes.push_back(
+        spice::Probe::source_energy(tr->source, "E:" + tr->source->name()));
+  }
+  spice::TranOptions topt;
+  topt.t_stop = t_ + 1e-9;
+  topt.dt_max = std::clamp(topt.t_stop / 1000.0, 50e-12, 5e-9);
+  spice::TranAnalysis tran(circuit_, topt, probes);
+  return Result{tran.run(), phases_, names};
+}
+
+double NvffTestbench::Result::energy(double t0, double t1) const {
+  double sum = 0.0;
+  for (const auto& name : sources) {
+    sum += wave.value_at("E:" + name, t1) - wave.value_at("E:" + name, t0);
+  }
+  return sum;
+}
+
+const PhaseWindow& NvffTestbench::Result::phase(const std::string& name,
+                                                int occurrence) const {
+  int seen = 0;
+  for (const auto& ph : phases) {
+    if (ph.name == name) {
+      if (seen == occurrence) return ph;
+      ++seen;
+    }
+  }
+  throw std::out_of_range("NvffTestbench::Result: no phase " + name);
+}
+
+NvffEnergetics characterize_nvff(const models::PaperParams& pp) {
+  NvffEnergetics out;
+
+  NvffTestbench tb(pp);
+  tb.op_clock_data(true);
+  tb.op_clock_data(false);
+  tb.op_clock_data(true);   // measured cycle
+  tb.op_hold(5e-9);
+  tb.op_store();
+  tb.op_shutdown(3e-6);
+  tb.op_restore();
+  tb.op_hold(3e-9);
+  auto res = tb.run();
+
+  out.e_clock = res.energy(res.phase("clock1", 1));
+  const auto& sh = res.phase("store_h");
+  const auto& sl = res.phase("store_l");
+  out.e_store = res.energy(sh.t0, sl.t1);
+  out.t_store = sl.t1 - sh.t0;
+  const auto& rs = res.phase("restore");
+  out.e_restore = res.energy(rs);
+  out.t_restore = rs.duration();
+
+  const auto& hold = res.phase("hold", 0);
+  out.p_static_hold = res.energy(hold) / hold.duration();
+
+  out.store_verified =
+      tb.mtj_q()->state() == models::MtjState::kAntiparallel &&
+      tb.mtj_qb()->state() == models::MtjState::kParallel;
+  const auto& sd = res.phase("shutdown");
+  const double vv = res.wave.value_at("V(VVDD)", sd.t1 - 1e-9);
+  const double q = res.wave.value_at("V(Q)", tb.now() - 0.5e-9);
+  const double qb = res.wave.value_at("V(QB)", tb.now() - 0.5e-9);
+  out.restore_verified = vv < 0.25 * pp.vdd && q > 0.8 * pp.vdd &&
+                         qb < 0.2 * pp.vdd;
+
+  // Shutdown static power from the tail of the gated window (rail collapsed).
+  out.p_static_shutdown =
+      res.energy(sd.t1 - 0.5e-6, sd.t1) / 0.5e-6;
+  return out;
+}
+
+}  // namespace nvsram::sram

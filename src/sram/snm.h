@@ -1,0 +1,50 @@
+// Static noise margin extraction via butterfly curves.
+//
+// The paper leans on the claim that separating the MTJs via PS-FinFETs
+// preserves large normal-mode SNMs; these helpers quantify that on our
+// substrate.  The SNM is computed with the standard 45-degree rotation of
+// the two inverter voltage-transfer curves: the side of the largest square
+// embedded in each butterfly lobe, reported as the smaller of the two lobes.
+#pragma once
+
+#include "models/paper_params.h"
+#include "sram/testbench.h"
+
+namespace nvsram::sram {
+
+struct SnmResult {
+  double snm = 0.0;        // min of the two lobes (V)
+  double lobe_high = 0.0;  // square in the upper-left lobe (V)
+  double lobe_low = 0.0;   // square in the lower-right lobe (V)
+};
+
+struct SnmOptions {
+  int sweep_points = 121;
+  double vvdd = 0.0;        // 0 => PaperParams::vdd
+  bool access_on = false;   // read SNM: WL high, bitlines at VDD
+  bool ps_branch_connected = false;  // NV cell with SR asserted (worst case)
+  // Device mismatch hook (Monte-Carlo); device names are "pu", "pd", "ax",
+  // "ps" within this inverter.
+  FetVary fet_vary;
+};
+
+// VTC of the cell inverter (with optional access transistor / PS branch
+// loading).  Returns (vin, vout) samples.
+std::vector<std::pair<double, double>> inverter_vtc(
+    const models::PaperParams& pp, CellKind kind, const SnmOptions& opts);
+
+// SNM from two identical cross-coupled VTCs.
+SnmResult compute_snm(const std::vector<std::pair<double, double>>& vtc);
+
+// SNM of a MISMATCHED pair: inverter A drives Q from QB, inverter B drives
+// QB from Q (Monte-Carlo cells).  lobe_high uses A-over-B, lobe_low the
+// mirrored orientation.
+SnmResult compute_snm(const std::vector<std::pair<double, double>>& vtc_a,
+                      const std::vector<std::pair<double, double>>& vtc_b);
+
+// Convenience wrappers.
+SnmResult hold_snm(const models::PaperParams& pp, CellKind kind,
+                   double vvdd = 0.0);
+SnmResult read_snm(const models::PaperParams& pp, CellKind kind);
+
+}  // namespace nvsram::sram

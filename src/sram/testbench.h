@@ -1,0 +1,164 @@
+// Scripted single-cell testbench.
+//
+// Owns a Circuit holding one cell (6T or NV-SRAM) with realistic periphery:
+// a header power switch on virtual VDD, bitline capacitances with precharge
+// pFETs and write-driver nFETs, and ideal drivers for WL / PG / SR / CTRL.
+//
+// Operations are *scheduled* (building PWL waveforms for every driver), then
+// `run()` executes one transient over the whole script and returns the
+// waveform plus per-phase energy accounting.  DC helpers measure static
+// power per mode and arbitrary-bias operating points (Fig. 3 / Fig. 4).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/paper_params.h"
+#include "spice/dc.h"
+#include "spice/tran.h"
+#include "sram/cell.h"
+
+namespace nvsram::sram {
+
+enum class CellKind { k6T, kNvSram };
+
+struct TestbenchOptions {
+  int power_switch_fins = 0;     // 0 => PaperParams::fins_power_switch
+  // When true, BL/BLB are driven by ideal sources and the precharge /
+  // write-driver periphery is omitted.  Use for DC measurements (static
+  // power, Fig. 3/4 sweeps) so periphery leakage does not pollute the
+  // per-cell numbers.  Transient op energies use the default (periphery).
+  bool ideal_bitlines = false;
+  double bitline_cap = 4e-15;    // F
+  double slew = 25e-12;          // driver edge time
+  double store_margin = 2e-9;    // settle margin added to each store step
+  double restore_ramp = 0.5e-9;  // virtual-VDD ramp on wake-up
+  double restore_settle = 1.5e-9;
+  double sleep_ramp = 1e-9;      // VDD 0.9 <-> 0.7 transition
+  // Transient knobs (t_stop is derived from the schedule).
+  double dt_max = 0.0;           // 0 => auto
+  spice::IntegrationMethod method = spice::IntegrationMethod::kTrapezoidal;
+  // Monte-Carlo mismatch hooks, applied to the cell's own devices (not the
+  // periphery): see sram/cell.h.
+  FetVary fet_vary;
+  MtjVary mtj_vary;
+};
+
+// One named window of the executed schedule.
+struct PhaseWindow {
+  std::string name;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double duration() const { return t1 - t0; }
+};
+
+class CellTestbench {
+ public:
+  CellTestbench(CellKind kind, models::PaperParams pp,
+                TestbenchOptions opts = {});
+
+  CellKind kind() const { return kind_; }
+  const models::PaperParams& paper() const { return pp_; }
+  spice::Circuit& circuit() { return circuit_; }
+  const CellHandles& cell() const { return cell_; }
+
+  // ---- schedule builders (advance the script clock) ----
+  void op_write(bool data);
+  void op_read();
+  void op_idle(double duration);
+  void op_sleep(double duration);
+  void op_store();                 // NV-SRAM only (throws otherwise)
+  void op_shutdown(double duration);
+  void op_restore();
+  double now() const { return t_; }
+
+  const std::vector<PhaseWindow>& scheduled_phases() const { return phases_; }
+  // n-th occurrence of a phase with this name (throws if absent).
+  const PhaseWindow& phase(const std::string& name, int occurrence = 0) const;
+
+  // ---- execution ----
+  struct RunResult {
+    spice::Waveform wave;
+    std::vector<PhaseWindow> phases;
+    std::vector<std::string> sources;
+    spice::TranStats stats;
+
+    // Total energy delivered by all drivers/supplies over [t0, t1].
+    double energy(double t0, double t1) const;
+    double energy(const PhaseWindow& ph) const { return energy(ph.t0, ph.t1); }
+    double average_power(double t0, double t1) const;
+    const PhaseWindow& phase(const std::string& name, int occurrence = 0) const;
+  };
+  RunResult run();
+
+  // ---- DC measurements ----
+  struct BiasSet {
+    double vdd = 0.9;
+    double pg = 0.0;
+    double wl = 0.0;
+    double pch = 0.0;   // precharge gate (0 = on)
+    double wd0 = 0.0;
+    double wd1 = 0.0;
+    double sr = 0.0;
+    double ctrl = 0.0;
+    double bl = 0.9;    // ideal-bitline mode only
+    double blb = 0.9;
+  };
+  BiasSet bias_normal() const;
+  BiasSet bias_sleep() const;
+  BiasSet bias_shutdown() const;   // super cutoff
+  BiasSet bias_store_h() const;    // step 1 (VSR on, CTRL = 0)
+  BiasSet bias_store_l() const;    // step 2 (VSR on, CTRL = vctrl_store)
+
+  // Operating point with the cell holding `data`; MTJ states are forced to
+  // the post-store configuration for `data` before solving.  The optional
+  // overrides pin individual MTJ states instead (e.g. the pre-switch state
+  // when measuring store currents).
+  std::optional<spice::DCSolution> solve_dc(
+      const BiasSet& bias, bool data,
+      std::optional<models::MtjState> force_q = std::nullopt,
+      std::optional<models::MtjState> force_qb = std::nullopt);
+
+  // Total static power drawn from all sources at the given mode/data.
+  // Throws std::runtime_error if the operating point cannot be solved.
+  enum class StaticMode { kNormal, kSleep, kShutdown };
+  double static_power(StaticMode mode, bool data = true);
+
+  // Virtual-VDD voltage at a DC point (Fig. 4).
+  double vvdd_at(const spice::DCSolution& sol) const;
+
+  // MTJ handles (nullptr for 6T).
+  spice::MTJElement* mtj_q() const { return cell_.mtj_q; }
+  spice::MTJElement* mtj_qb() const { return cell_.mtj_qb; }
+
+ private:
+  struct Track {
+    spice::VSource* source = nullptr;
+    std::vector<std::pair<double, double>> points;
+    double value = 0.0;  // current level
+  };
+
+  void set_level(Track& track, double t, double v, double ramp = 0.0);
+  void add_phase(const std::string& name, double t0, double t1);
+  linalg::Vector dc_guess(const BiasSet& bias, bool data) const;
+  void apply_bias(const BiasSet& bias);
+
+  CellKind kind_;
+  models::PaperParams pp_;
+  TestbenchOptions opts_;
+
+  spice::Circuit circuit_;
+  CellHandles cell_;
+  spice::NodeId n_vdd_, n_vvdd_, n_pg_, n_wl_, n_bl_, n_blb_, n_pch_, n_wd0_,
+      n_wd1_, n_sr_, n_ctrl_;
+
+  Track vdd_, pg_, wl_, pch_, wd0_, wd1_, sr_, ctrl_, bl_, blb_;
+  std::vector<Track*> tracks_;
+
+  double t_ = 0.0;
+  std::vector<PhaseWindow> phases_;
+};
+
+}  // namespace nvsram::sram

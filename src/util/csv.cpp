@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace nvsram::util {
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> columns)
+    : path_(std::move(path)), columns_(std::move(columns)) {}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::ensure_open() {
+  if (opened_) return;
+  out_.open(path_);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path_);
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns_[i];
+  }
+  out_ << '\n';
+  opened_ = true;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::runtime_error("CsvWriter: row width mismatch for " + path_);
+  }
+  ensure_open();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << sci_format(values[i], 6);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::text_row(const std::vector<std::string>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::runtime_error("CsvWriter: row width mismatch for " + path_);
+  }
+  ensure_open();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::flush() {
+  if (opened_) out_.flush();
+}
+
+}  // namespace nvsram::util

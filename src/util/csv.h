@@ -1,0 +1,46 @@
+// Minimal CSV writer used by the bench harnesses to dump figure series.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace nvsram::util {
+
+// Writes rows of doubles (plus a header) to a CSV file.  Opens lazily on the
+// first row; throws std::runtime_error if the file cannot be created.
+class CsvWriter {
+ public:
+  CsvWriter(std::string path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  // Appends one data row; must match the column count.
+  void row(const std::vector<double>& values);
+  void row(std::initializer_list<double> values);
+
+  // Appends a row of preformatted strings (e.g. mixed text/number rows).
+  void text_row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+  // Flush buffered output to disk.
+  void flush();
+
+ private:
+  void ensure_open();
+
+  std::string path_;
+  std::vector<std::string> columns_;
+  std::ofstream out_;
+  bool opened_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace nvsram::util

@@ -1,0 +1,114 @@
+#include "util/rootfind.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvsram::util {
+
+std::optional<RootResult> brent(const std::function<double(double)>& f, double a,
+                                double b, const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (std::fabs(fa) <= opts.f_tolerance) return RootResult{a, fa, 0, true};
+  if (std::fabs(fb) <= opts.f_tolerance) return RootResult{b, fb, 0, true};
+  if (fa * fb > 0.0) return std::nullopt;
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+                       0.5 * opts.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::fabs(m) <= tol || fb == 0.0 ||
+        std::fabs(fb) <= opts.f_tolerance) {
+      return RootResult{b, fb, iter, true};
+    }
+    if (std::fabs(e) < tol || std::fabs(fa) <= std::fabs(fb)) {
+      d = m;
+      e = m;
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {
+        // Secant step.
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // Inverse quadratic interpolation.
+        const double qa = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qa * (qa - r) - (b - a) * (r - 1.0));
+        q = (qa - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::fabs(tol * q), std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return RootResult{b, fb, opts.max_iterations, false};
+}
+
+std::optional<std::pair<double, double>> bracket_root(
+    const std::function<double(double)>& f, double a, double b, double grow,
+    int max_expansions) {
+  if (a == b) return std::nullopt;
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (fa * fb <= 0.0) return std::make_pair(a, b);
+    if (std::fabs(fa) < std::fabs(fb)) {
+      a += grow * (a - b);
+      fa = f(a);
+    } else {
+      b += grow * (b - a);
+      fb = f(b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RootResult> bisect(const std::function<double(double)>& f, double a,
+                                 double b, const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (std::fabs(fa) <= opts.f_tolerance) return RootResult{a, fa, 0, true};
+  if (std::fabs(fb) <= opts.f_tolerance) return RootResult{b, fb, 0, true};
+  if (fa * fb > 0.0) return std::nullopt;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    if (std::fabs(b - a) <= opts.x_tolerance || fm == 0.0) {
+      return RootResult{mid, fm, iter, true};
+    }
+    if ((fm > 0.0) == (fa > 0.0)) {
+      a = mid;
+      fa = fm;
+    } else {
+      b = mid;
+    }
+  }
+  return RootResult{0.5 * (a + b), f(0.5 * (a + b)), opts.max_iterations, false};
+}
+
+}  // namespace nvsram::util

@@ -1,0 +1,41 @@
+// Scalar root finding (Brent) and bracketing helpers.
+//
+// Used by the BET solver to verify the analytic break-even intersection on
+// the simulated E_cyc(t_SD) curves, and by device calibration code.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace nvsram::util {
+
+struct RootOptions {
+  double x_tolerance = 1e-12;   // absolute tolerance on x
+  double f_tolerance = 0.0;     // |f| below which we accept immediately
+  int max_iterations = 200;
+};
+
+struct RootResult {
+  double x = 0.0;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Brent's method on [a, b].  Requires f(a) and f(b) with opposite signs;
+// returns nullopt if the bracket is invalid.
+std::optional<RootResult> brent(const std::function<double(double)>& f, double a,
+                                double b, const RootOptions& opts = {});
+
+// Expands [a, b] geometrically (factor `grow`) until f changes sign or
+// `max_expansions` is hit.  Returns the bracketing pair if found.
+std::optional<std::pair<double, double>> bracket_root(
+    const std::function<double(double)>& f, double a, double b,
+    double grow = 1.6, int max_expansions = 60);
+
+// Bisection fallback (always converges on a valid bracket); used in tests to
+// cross-check Brent.
+std::optional<RootResult> bisect(const std::function<double(double)>& f, double a,
+                                 double b, const RootOptions& opts = {});
+
+}  // namespace nvsram::util

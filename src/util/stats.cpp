@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvsram::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double relative_error(double a, double b, double floor) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), floor});
+  return std::fabs(a - b) / denom;
+}
+
+bool is_monotone_nondecreasing(const std::vector<double>& v, double slack) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double allowed = slack * std::max(std::fabs(v[i]), std::fabs(v[i - 1]));
+    if (v[i] < v[i - 1] - allowed) return false;
+  }
+  return true;
+}
+
+bool is_monotone_nonincreasing(const std::vector<double>& v, double slack) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double allowed = slack * std::max(std::fabs(v[i]), std::fabs(v[i - 1]));
+    if (v[i] > v[i - 1] + allowed) return false;
+  }
+  return true;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = std::exp(llo + t * (lhi - llo));
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = lo + t * (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace nvsram::util

@@ -1,0 +1,43 @@
+// Small online statistics helpers used by benches and property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvsram::util {
+
+// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;   // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Relative error |a-b| / max(|a|,|b|,floor).
+double relative_error(double a, double b, double floor = 1e-30);
+
+// True if the sequence is non-decreasing within tolerance `slack`
+// (relative to the local magnitude).
+bool is_monotone_nondecreasing(const std::vector<double>& v, double slack = 0.0);
+bool is_monotone_nonincreasing(const std::vector<double>& v, double slack = 0.0);
+
+// Geometric spacing helper: n points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+// Linear spacing helper: n points from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace nvsram::util

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace nvsram::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::runtime_error("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::row_si(const std::vector<double>& values,
+                          const std::vector<std::string>& units, int digits) {
+  if (values.size() != columns_.size() || units.size() != columns_.size()) {
+    throw std::runtime_error("TablePrinter: row width mismatch");
+  }
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cells.push_back(si_format(values[i], units[i], digits));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "");
+      os << cells[i];
+      os << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << '\n';
+  };
+
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    total += widths[i] + (i ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace nvsram::util

@@ -1,0 +1,37 @@
+// Aligned plain-text table printer for the bench harness output.
+//
+// The bench binaries print the same rows/series the paper's figures show;
+// TablePrinter keeps those human-readable in a terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nvsram::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  // Appends a row of preformatted cells; width is padded on print.
+  void row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with si_format.
+  void row_si(const std::vector<double>& values, const std::vector<std::string>& units,
+              int digits = 3);
+
+  // Renders the full table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner like "==== Fig. 7(a): ... ====".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace nvsram::util

@@ -1,0 +1,50 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace nvsram::util {
+
+double thermal_voltage(double temperature_kelvin) {
+  return kBoltzmann * temperature_kelvin / kElectronCharge;
+}
+
+std::string si_format(double value, const std::string& unit, int digits) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 13> kPrefixes = {{
+      {1e18, "E"}, {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"},
+      {1e3, "k"}, {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+      {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  }};
+
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", digits, value, unit.c_str());
+    return buf;
+  }
+
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %s%s", digits, value / chosen->scale,
+                chosen->symbol, unit.c_str());
+  return buf;
+}
+
+std::string sci_format(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+  return buf;
+}
+
+}  // namespace nvsram::util

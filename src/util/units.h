@@ -1,0 +1,75 @@
+// SI unit helpers and engineering-notation formatting.
+//
+// The whole code base works in plain SI base units (volts, amperes, seconds,
+// farads, ohms, joules, watts, meters).  These helpers make literals in
+// source code and values in printed tables readable.
+#pragma once
+
+#include <string>
+
+namespace nvsram::util {
+
+// ---- scale constants -------------------------------------------------------
+inline constexpr double kTera  = 1e12;
+inline constexpr double kGiga  = 1e9;
+inline constexpr double kMega  = 1e6;
+inline constexpr double kKilo  = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano  = 1e-9;
+inline constexpr double kPico  = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kAtto  = 1e-18;
+
+// ---- user-defined literals -------------------------------------------------
+// Usage: using namespace nvsram::util::literals;  auto t = 10.0_ns;
+namespace literals {
+constexpr double operator""_T(long double v) { return static_cast<double>(v) * 1e12; }
+constexpr double operator""_G(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_M(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_k(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_m(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_u(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_n(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_p(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_f(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+}  // namespace literals
+
+// ---- physical constants ----------------------------------------------------
+inline constexpr double kBoltzmann = 1.380649e-23;   // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kEps0 = 8.8541878128e-12;    // F/m
+inline constexpr double kEpsSiO2 = 3.9 * kEps0;
+inline constexpr double kEpsSi = 11.7 * kEps0;
+inline constexpr double kRoomTemperature = 300.0;    // K
+
+// Thermal voltage kT/q at temperature T (kelvin).
+double thermal_voltage(double temperature_kelvin = kRoomTemperature);
+
+// ---- formatting ------------------------------------------------------------
+// Format `value` with an SI prefix and the given unit, e.g. 1.5e-9 s ->
+// "1.500 ns".  `digits` is the number of significant decimals.
+std::string si_format(double value, const std::string& unit, int digits = 3);
+
+// Format in fixed engineering notation without prefix (e.g. "1.234e-09").
+std::string sci_format(double value, int digits = 4);
+
+}  // namespace nvsram::util

@@ -1,0 +1,338 @@
+// Architecture-level energy model: invariants, BET solver consistency, and
+// the paper's headline shape claims as testable properties.
+//
+// Uses a synthetic-but-realistic CellEnergetics pair so the model logic is
+// tested independently of the SPICE characterization (which has its own
+// tests); test_analyzer.cpp ties the two together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_model.h"
+#include "util/stats.h"
+
+namespace nvsram {
+namespace {
+
+using core::Architecture;
+using core::BenchmarkParams;
+using core::EnergyModel;
+using sram::CellEnergetics;
+
+CellEnergetics fake_6t() {
+  CellEnergetics c;
+  c.t_clk = 1.0 / 300e6;
+  c.e_read = 3.8e-15;
+  c.e_write = 4.9e-15;
+  c.p_static_normal = 23.2e-9;
+  c.p_static_sleep = 9.5e-9;
+  c.p_static_shutdown = 30e-12;
+  c.e_sleep_transition = 1e-15;
+  return c;
+}
+
+CellEnergetics fake_nv() {
+  CellEnergetics c = fake_6t();
+  c.e_read = 4.1e-15;
+  c.e_write = 5.1e-15;
+  c.p_static_normal = 23.9e-9;
+  c.p_static_sleep = 10.2e-9;
+  c.e_store = 400e-15;
+  c.t_store = 24e-9;
+  c.e_restore = 33e-15;
+  c.t_restore = 2.1e-9;
+  c.store_verified = true;
+  c.restore_verified = true;
+  return c;
+}
+
+class EnergyModelTest : public ::testing::Test {
+ protected:
+  EnergyModelTest() : model_(fake_6t(), fake_nv()) {}
+  EnergyModel model_;
+};
+
+TEST_F(EnergyModelTest, RejectsVolatileCellAsNv) {
+  EXPECT_THROW(EnergyModel(fake_6t(), fake_6t()), std::invalid_argument);
+}
+
+TEST_F(EnergyModelTest, RejectsInvalidParams) {
+  BenchmarkParams p;
+  p.n_rw = 0;
+  EXPECT_THROW(model_.e_cyc(Architecture::kOSR, p), std::invalid_argument);
+  p = BenchmarkParams{};
+  p.t_sd = -1.0;
+  EXPECT_THROW(model_.e_cyc(Architecture::kNVPG, p), std::invalid_argument);
+}
+
+TEST_F(EnergyModelTest, BreakdownSumsToTotal) {
+  BenchmarkParams p;
+  p.n_rw = 50;
+  p.t_sl = 100e-9;
+  p.t_sd = 1e-5;
+  for (auto a : {Architecture::kOSR, Architecture::kNVPG, Architecture::kNOF}) {
+    const auto b = model_.cycle_energy(a, p);
+    const double sum = b.access + b.standby + b.sleep + b.store + b.store_wait +
+                       b.shutdown + b.restore + b.restore_wait;
+    EXPECT_NEAR(b.total(), sum, 1e-25);
+    EXPECT_GT(b.total(), 0.0);
+    EXPECT_GT(b.duration, 0.0);
+  }
+}
+
+TEST_F(EnergyModelTest, EcycIncreasesWithEveryKnob) {
+  // E_cyc must be non-decreasing in n_rw, t_sl, t_sd, and rows.
+  for (auto a : {Architecture::kOSR, Architecture::kNVPG, Architecture::kNOF}) {
+    BenchmarkParams p;
+    std::vector<double> by_nrw, by_tsl, by_tsd, by_rows;
+    for (int n : {1, 10, 100, 1000}) {
+      p = BenchmarkParams{};
+      p.n_rw = n;
+      by_nrw.push_back(model_.e_cyc(a, p));
+    }
+    for (double t : {0.0, 1e-7, 1e-6}) {
+      p = BenchmarkParams{};
+      p.t_sl = t;
+      by_tsl.push_back(model_.e_cyc(a, p));
+    }
+    for (double t : {0.0, 1e-5, 1e-3}) {
+      p = BenchmarkParams{};
+      p.t_sd = t;
+      by_tsd.push_back(model_.e_cyc(a, p));
+    }
+    for (int r : {32, 256, 2048}) {
+      p = BenchmarkParams{};
+      p.rows = r;
+      by_rows.push_back(model_.e_cyc(a, p));
+    }
+    EXPECT_TRUE(util::is_monotone_nondecreasing(by_nrw)) << to_string(a);
+    EXPECT_TRUE(util::is_monotone_nondecreasing(by_tsl)) << to_string(a);
+    EXPECT_TRUE(util::is_monotone_nondecreasing(by_tsd)) << to_string(a);
+    EXPECT_TRUE(util::is_monotone_nondecreasing(by_rows)) << to_string(a);
+  }
+}
+
+// ---- Fig. 7(a): NVPG converges to OSR; NOF stays above ----
+
+TEST_F(EnergyModelTest, NvpgApproachesOsrAtLargeNrw) {
+  BenchmarkParams p;
+  p.t_sl = 100e-9;
+  p.t_sd = 0.0;
+  p.n_rw = 1;
+  const double ratio_small = model_.e_cyc(Architecture::kNVPG, p) /
+                             model_.e_cyc(Architecture::kOSR, p);
+  p.n_rw = 100000;
+  const double ratio_large = model_.e_cyc(Architecture::kNVPG, p) /
+                             model_.e_cyc(Architecture::kOSR, p);
+  EXPECT_GT(ratio_small, 2.0);     // store/restore dominates one iteration
+  EXPECT_LT(ratio_large, 1.10);    // amortized away
+  EXPECT_GE(ratio_large, 1.0);     // but never below the volatile baseline
+}
+
+TEST_F(EnergyModelTest, NofStaysWellAboveOsr) {
+  BenchmarkParams p;
+  p.t_sl = 100e-9;
+  for (int n : {1, 10, 100, 10000}) {
+    p.n_rw = n;
+    const double ratio = model_.e_cyc(Architecture::kNOF, p) /
+                         model_.e_cyc(Architecture::kOSR, p);
+    EXPECT_GT(ratio, 3.0) << "n_rw=" << n;
+  }
+}
+
+TEST_F(EnergyModelTest, NvpgAndNofComparableAtSingleIteration) {
+  // Paper: at n_RW = 1 both execute the same store count.
+  BenchmarkParams p;
+  p.n_rw = 1;
+  p.t_sl = 0.0;
+  p.t_sd = 0.0;
+  const double e_nvpg = model_.e_cyc(Architecture::kNVPG, p);
+  const double e_nof = model_.e_cyc(Architecture::kNOF, p);
+  EXPECT_NEAR(e_nvpg / e_nof, 1.0, 0.35);
+}
+
+// ---- Fig. 7(b): large-domain crossover at small n_RW ----
+
+TEST_F(EnergyModelTest, LargeDomainMakesNvpgWorseThanNofAtTinyNrw) {
+  BenchmarkParams p;
+  p.t_sl = 100e-9;
+  p.t_sd = 0.0;
+  p.n_rw = 1;
+  p.rows = 2048;
+  EXPECT_GT(model_.e_cyc(Architecture::kNVPG, p),
+            model_.e_cyc(Architecture::kNOF, p));
+  // ... and the effect dies out quickly with n_RW (paper: by ~10).
+  p.n_rw = 64;
+  EXPECT_LT(model_.e_cyc(Architecture::kNVPG, p),
+            model_.e_cyc(Architecture::kNOF, p));
+}
+
+// ---- BET ----
+
+TEST_F(EnergyModelTest, AnalyticBetMatchesNumeric) {
+  for (auto a : {Architecture::kNVPG, Architecture::kNOF}) {
+    for (int n_rw : {10, 100, 1000}) {
+      for (int rows : {32, 512}) {
+        BenchmarkParams p;
+        p.n_rw = n_rw;
+        p.rows = rows;
+        p.t_sl = 100e-9;
+        const auto analytic = model_.break_even_time(a, p);
+        const auto numeric = model_.break_even_time_numeric(a, p);
+        ASSERT_EQ(analytic.has_value(), numeric.has_value());
+        if (analytic) {
+          EXPECT_NEAR(*analytic, *numeric,
+                      1e-3 * std::max(*analytic, 1e-9))
+              << to_string(a) << " n_rw=" << n_rw << " rows=" << rows;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EnergyModelTest, NvpgBetIsTensOfMicroseconds) {
+  BenchmarkParams p;
+  p.n_rw = 10;
+  p.rows = 32;
+  p.t_sl = 100e-9;
+  const auto bet = model_.break_even_time(Architecture::kNVPG, p);
+  ASSERT_TRUE(bet.has_value());
+  EXPECT_GT(*bet, 5e-6);
+  EXPECT_LT(*bet, 500e-6);  // "several 10 us" band
+}
+
+TEST_F(EnergyModelTest, NofBetMuchLongerThanNvpg) {
+  BenchmarkParams p;
+  p.n_rw = 100;
+  p.t_sl = 100e-9;
+  const auto bet_nvpg = model_.break_even_time(Architecture::kNVPG, p);
+  const auto bet_nof = model_.break_even_time(Architecture::kNOF, p);
+  ASSERT_TRUE(bet_nvpg.has_value());
+  ASSERT_TRUE(bet_nof.has_value());
+  EXPECT_GT(*bet_nof, 10.0 * *bet_nvpg);
+}
+
+TEST_F(EnergyModelTest, BetGrowsWithNrwAndRows) {
+  std::vector<double> by_nrw, by_rows;
+  for (int n : {10, 100, 1000}) {
+    BenchmarkParams p;
+    p.n_rw = n;
+    by_nrw.push_back(*model_.break_even_time(Architecture::kNVPG, p));
+  }
+  for (int r : {32, 256, 2048}) {
+    BenchmarkParams p;
+    p.rows = r;
+    by_rows.push_back(*model_.break_even_time(Architecture::kNVPG, p));
+  }
+  EXPECT_TRUE(util::is_monotone_nondecreasing(by_nrw));
+  EXPECT_GT(by_nrw.back(), 1.5 * by_nrw.front());
+  EXPECT_TRUE(util::is_monotone_nondecreasing(by_rows));
+  EXPECT_GT(by_rows.back(), 1.5 * by_rows.front());
+}
+
+TEST_F(EnergyModelTest, StoreFreeShutdownSlashesBet) {
+  BenchmarkParams p;
+  p.n_rw = 10;
+  p.rows = 32;
+  BenchmarkParams psf = p;
+  psf.store_free_shutdown = true;
+  const auto bet = model_.break_even_time(Architecture::kNVPG, p);
+  const auto bet_sf = model_.break_even_time(Architecture::kNVPG, psf);
+  ASSERT_TRUE(bet && bet_sf);
+  EXPECT_LT(*bet_sf, 0.4 * *bet);   // "dramatically reduced to several us"
+  EXPECT_LT(*bet_sf, 10e-6);
+}
+
+TEST_F(EnergyModelTest, DirtyFractionScalesStoreEnergyOnly) {
+  BenchmarkParams full;
+  full.n_rw = 10;
+  BenchmarkParams half = full;
+  half.dirty_fraction = 0.5;
+  const auto b_full = model_.cycle_energy(Architecture::kNVPG, full);
+  const auto b_half = model_.cycle_energy(Architecture::kNVPG, half);
+  EXPECT_NEAR(b_half.store, 0.5 * b_full.store, 1e-25);
+  EXPECT_DOUBLE_EQ(b_half.store_wait, b_full.store_wait);  // window still runs
+  EXPECT_DOUBLE_EQ(b_half.access, b_full.access);
+  EXPECT_DOUBLE_EQ(b_half.duration, b_full.duration);
+}
+
+TEST_F(EnergyModelTest, CleanDomainBetweenStoreFreeAndFull) {
+  // dirty_fraction = 0 keeps the store window (scan) but no CIMS energy:
+  // BET sits between store-free (no window either) and a full store.
+  BenchmarkParams p;
+  p.n_rw = 10;
+  BenchmarkParams clean = p;
+  clean.dirty_fraction = 0.0;
+  BenchmarkParams sf = p;
+  sf.store_free_shutdown = true;
+  const double bet_full = *model_.break_even_time(Architecture::kNVPG, p);
+  const double bet_clean = *model_.break_even_time(Architecture::kNVPG, clean);
+  const double bet_sf = *model_.break_even_time(Architecture::kNVPG, sf);
+  EXPECT_LT(bet_clean, bet_full);
+  EXPECT_GE(bet_clean, bet_sf);
+}
+
+TEST_F(EnergyModelTest, DirtyFractionValidated) {
+  BenchmarkParams p;
+  p.dirty_fraction = 1.5;
+  EXPECT_THROW(model_.e_cyc(Architecture::kNVPG, p), std::invalid_argument);
+}
+
+TEST_F(EnergyModelTest, OsrBetIsZeroByDefinition) {
+  EXPECT_DOUBLE_EQ(*model_.break_even_time(Architecture::kOSR, {}), 0.0);
+}
+
+TEST_F(EnergyModelTest, BetIsNulloptWhenShutdownLeaksMoreThanSleep) {
+  CellEnergetics nv = fake_nv();
+  nv.p_static_shutdown = 20e-9;  // broken power switch: worse than sleep
+  EnergyModel broken(fake_6t(), nv);
+  EXPECT_FALSE(broken.break_even_time(Architecture::kNVPG, {}).has_value());
+}
+
+// ---- timing / performance ----
+
+TEST_F(EnergyModelTest, NofStretchesTheCycle) {
+  BenchmarkParams p;
+  p.n_rw = 100;
+  p.t_sl = 0.0;
+  const double d_osr = model_.cycle_energy(Architecture::kOSR, p).duration;
+  const double d_nvpg = model_.cycle_energy(Architecture::kNVPG, p).duration;
+  const double d_nof = model_.cycle_energy(Architecture::kNOF, p).duration;
+  // NVPG: same inner-loop speed, only the one-time store/restore appended.
+  EXPECT_LT(d_nvpg, 1.05 * d_osr);
+  // NOF: every cycle embeds store/wake -> multiple times slower (Fig. 6(b)).
+  EXPECT_GT(d_nof, 3.0 * d_osr);
+}
+
+TEST_F(EnergyModelTest, ReadHeavyWorkloadKeepsShapes) {
+  // Paper: a 10:1 read:write ratio leaves the qualitative picture unchanged.
+  BenchmarkParams p;
+  p.reads_per_write = 10.0;
+  p.t_sl = 100e-9;
+  p.n_rw = 1000;
+  const double ratio_nvpg = model_.e_cyc(Architecture::kNVPG, p) /
+                            model_.e_cyc(Architecture::kOSR, p);
+  const double ratio_nof = model_.e_cyc(Architecture::kNOF, p) /
+                           model_.e_cyc(Architecture::kOSR, p);
+  EXPECT_LT(ratio_nvpg, 1.1);
+  EXPECT_GT(ratio_nof, 2.0);
+}
+
+TEST_F(EnergyModelTest, StoreWaitScalesLinearlyWithRows) {
+  BenchmarkParams p32, p64;
+  p32.rows = 32;
+  p64.rows = 64;
+  const auto b32 = model_.cycle_energy(Architecture::kNVPG, p32);
+  const auto b64 = model_.cycle_energy(Architecture::kNVPG, p64);
+  EXPECT_NEAR(b64.store_wait / b32.store_wait, 63.0 / 31.0, 1e-9);
+}
+
+TEST_F(EnergyModelTest, DomainBytesHelper) {
+  BenchmarkParams p;
+  p.rows = 256;
+  p.cols = 32;
+  EXPECT_DOUBLE_EQ(p.domain_bytes(), 1024.0);
+}
+
+}  // namespace
+}  // namespace nvsram

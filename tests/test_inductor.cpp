@@ -1,0 +1,147 @@
+// Inductor element: DC short, RL/RLC transients against analytic solutions,
+// AC resonance, and parser integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/ac.h"
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/netlist_parser.h"
+#include "spice/tran.h"
+
+namespace nvsram::spice {
+namespace {
+
+TEST(InductorTest, DcActsAsShort) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  ckt.add<VSource>("V1", a, kGround, SourceSpec::dc(1.0));
+  auto* l = ckt.add<Inductor>("L1", a, b, 1e-9);
+  ckt.add<Resistor>("R1", b, kGround, 1e3);
+  DCAnalysis dc(ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->node_voltage(b), 1.0, 1e-6);
+  EXPECT_NEAR(l->current(sol->view()), 1e-3, 1e-8);
+}
+
+TEST(InductorTest, RejectsNonPositiveValue) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Inductor>("L1", ckt.node("a"), kGround, 0.0),
+               std::invalid_argument);
+}
+
+TEST(InductorTest, RlRiseMatchesAnalytic) {
+  // Step into series R-L: i(t) = (V/R)(1 - exp(-t R / L)); tau = L/R = 1 ns.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  ckt.add<VSource>("V1", a, kGround,
+                   SourceSpec::pwl({{0.1e-9, 0.0}, {0.101e-9, 1.0}}));
+  ckt.add<Resistor>("R1", a, b, 1e3);
+  auto* l = ckt.add<Inductor>("L1", b, kGround, 1e-6);
+  TranOptions opt;
+  opt.t_stop = 5e-9;
+  TranAnalysis tran(ckt, opt,
+                    {Probe::device_current(l, "i(L1)"),
+                     Probe::node_voltage(b, "V(b)")});
+  const auto wave = tran.run();
+  const double tau = 1e-6 / 1e3;
+  for (double t : {1e-9, 2e-9, 4e-9}) {
+    const double expected = 1e-3 * (1.0 - std::exp(-(t - 0.1005e-9) / tau));
+    EXPECT_NEAR(wave.value_at("i(L1)", t), expected, 0.02e-3) << t;
+  }
+}
+
+TEST(InductorTest, LcTankRingsAtResonance) {
+  // Series RLC, lightly damped: ringing frequency ~ 1/(2 pi sqrt(LC)).
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  const auto c = ckt.node("c");
+  ckt.add<VSource>("V1", a, kGround,
+                   SourceSpec::pwl({{0.1e-9, 0.0}, {0.11e-9, 1.0}}));
+  ckt.add<Resistor>("R1", a, b, 5.0);  // light damping
+  ckt.add<Inductor>("L1", b, c, 1e-9);
+  ckt.add<Capacitor>("C1", c, kGround, 1e-12);
+  TranOptions opt;
+  opt.t_stop = 2e-9;
+  opt.lte_reltol = 5e-4;  // resolve the ringing well
+  TranAnalysis tran(ckt, opt, {Probe::node_voltage(c, "V(c)")});
+  const auto wave = tran.run();
+
+  // f0 ~ 5.03 GHz -> period ~ 198.9 ps.  Measure period from two upward
+  // crossings of the final value.
+  const auto t1 = wave.cross_time("V(c)", 1.0, 0.15e-9);
+  ASSERT_TRUE(t1.has_value());
+  // Skipping 110 ps jumps past the opposite-direction crossing (~99 ps
+  // later), so t2 is the next same-direction crossing: one full period.
+  const auto t2 = wave.cross_time("V(c)", 1.0, *t1 + 0.11e-9);
+  ASSERT_TRUE(t2.has_value());
+  const double period = *t2 - *t1;
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-9 * 1e-12));
+  EXPECT_NEAR(period, 1.0 / f0, 0.15 / f0);
+  // Underdamped: the overshoot must exceed the input step.
+  EXPECT_GT(wave.maximum("V(c)"), 1.4);
+}
+
+TEST(InductorTest, AcSeriesResonanceDip) {
+  // Series RLC driven by AC: the mid-node magnitude peaks near f0.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  const auto c = ckt.node("c");
+  auto* v = ckt.add<VSource>("V1", a, kGround, SourceSpec::dc(0.0));
+  ckt.add<Resistor>("R1", a, b, 10.0);
+  ckt.add<Inductor>("L1", b, c, 1e-9);
+  ckt.add<Capacitor>("C1", c, kGround, 1e-12);
+  ACOptions opt;
+  opt.f_start = 1e8;
+  opt.f_stop = 1e11;
+  opt.points_per_decade = 40;
+  ACAnalysis ac(ckt, opt, {Probe::node_voltage(c, "c")});
+  ac.set_ac(v, 1.0);
+  const auto wave = ac.run();
+
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-9 * 1e-12));
+  // Q = sqrt(L/C)/R ~ 3.16: |V(c)| at resonance ~ Q.
+  EXPECT_NEAR(wave.value_at("mag:c", f0), 3.16, 0.35);
+  EXPECT_NEAR(wave.value_at("mag:c", 1e8), 1.0, 0.02);   // passband
+  EXPECT_LT(wave.value_at("mag:c", 1e11), 0.01);         // stopband
+}
+
+TEST(InductorTest, ParsedFromNetlist) {
+  NetlistParser p;
+  auto net = p.parse(
+      "rl divider\n"
+      "V1 a 0 DC 2\n"
+      "L1 a b 10n\n"
+      "R1 b 0 1k\n");
+  const auto sol = net->run_op();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->node_voltage(net->circuit().find_node("b")), 2.0, 1e-5);
+}
+
+TEST(InductorTest, BackwardEulerRlAccurate) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  ckt.add<VSource>("V1", a, kGround,
+                   SourceSpec::pwl({{0.1e-9, 0.0}, {0.101e-9, 1.0}}));
+  ckt.add<Resistor>("R1", a, b, 1e3);
+  auto* l = ckt.add<Inductor>("L1", b, kGround, 1e-6);
+  TranOptions opt;
+  opt.t_stop = 4e-9;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  TranAnalysis tran(ckt, opt, {Probe::device_current(l, "i")});
+  const auto wave = tran.run();
+  const double expected = 1e-3 * (1.0 - std::exp(-(3e-9 - 0.1e-9) / 1e-9));
+  EXPECT_NEAR(wave.value_at("i", 3e-9), expected, 0.03e-3);
+}
+
+}  // namespace
+}  // namespace nvsram::spice

@@ -1,0 +1,68 @@
+// Cell design metrics: write margin, read current, data retention voltage.
+#include <gtest/gtest.h>
+
+#include "models/paper_params.h"
+#include "sram/metrics.h"
+
+namespace nvsram::sram {
+namespace {
+
+using models::PaperParams;
+
+TEST(CellMetricsTest, WriteMarginIsHealthy) {
+  const double wm = write_margin(PaperParams::table1(), CellKind::k6T);
+  // The (1,1,1) cell is write-friendly: the flip happens well before the
+  // bitline reaches ground, but a write at full VDD must NOT flip (that
+  // would be a read disturb).
+  EXPECT_GT(wm, 0.3);
+  EXPECT_LT(wm, 0.9);
+}
+
+TEST(CellMetricsTest, ReadCurrentDrivesTheBitline) {
+  const double i = read_current(PaperParams::table1(), CellKind::k6T);
+  // One access fin in series with one driver fin: tens of uA.
+  EXPECT_GT(i, 10e-6);
+  EXPECT_LT(i, 120e-6);
+}
+
+TEST(CellMetricsTest, RetentionVoltageBelowSleepRail) {
+  const auto pp = PaperParams::table1();
+  const double drv = data_retention_voltage(pp, CellKind::k6T);
+  // The paper sleeps at 0.7 V: that must sit above the DRV with margin.
+  EXPECT_LT(drv, pp.vvdd_sleep - 0.15);
+  EXPECT_GT(drv, 0.05);  // but not literally zero
+}
+
+TEST(CellMetricsTest, NvCellMetricsTrack6T) {
+  // Electrical separation: the NV cell's metrics stay close to the 6T's.
+  const auto pp = PaperParams::table1();
+  const auto m6 = measure_cell_metrics(pp, CellKind::k6T);
+  const auto mn = measure_cell_metrics(pp, CellKind::kNvSram);
+  EXPECT_NEAR(mn.write_margin, m6.write_margin, 0.1);
+  EXPECT_NEAR(mn.read_current, m6.read_current, 0.2 * m6.read_current);
+  EXPECT_NEAR(mn.retention_voltage, m6.retention_voltage, 0.1);
+}
+
+TEST(CellMetricsTest, HigherVthRaisesRetentionVoltage) {
+  auto weak = PaperParams::table1();
+  // A hypothetical low-leakage process: higher Vth -> weaker inverters at
+  // low rail -> retention degrades later... actually higher Vth devices
+  // stop regenerating earlier, raising the DRV.
+  // Verify the sensitivity direction via the fin geometry instead: a taller
+  // fin (stronger device) must not hurt retention.
+  auto strong = PaperParams::table1();
+  strong.fin_height = 40e-9;
+  const double drv_base = data_retention_voltage(weak, CellKind::k6T);
+  const double drv_strong = data_retention_voltage(strong, CellKind::k6T);
+  EXPECT_LE(drv_strong, drv_base + 0.02);
+}
+
+TEST(CellMetricsTest, RetentionRespectsMinSnmFloor) {
+  const auto pp = PaperParams::table1();
+  const double loose = data_retention_voltage(pp, CellKind::k6T, 0.01);
+  const double strict = data_retention_voltage(pp, CellKind::k6T, 0.10);
+  EXPECT_GT(strict, loose);  // demanding more margin needs more voltage
+}
+
+}  // namespace
+}  // namespace nvsram::sram

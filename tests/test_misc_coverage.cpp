@@ -1,0 +1,115 @@
+// Coverage for small paths not exercised elsewhere: logging, circuit
+// registry errors, describe() strings, DC sweep failure propagation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/energy_model.h"
+#include "models/paper_params.h"
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "util/log.h"
+
+namespace nvsram {
+namespace {
+
+TEST(Log, LevelGateAndRestore) {
+  const auto prev = util::log_level();
+  util::set_log_level(util::LogLevel::kOff);
+  util::log_error() << "must not crash while gated";
+  EXPECT_EQ(util::log_level(), util::LogLevel::kOff);
+  util::set_log_level(util::LogLevel::kDebug);
+  util::log_debug() << "visible level";
+  util::set_log_level(prev);
+}
+
+TEST(CircuitRegistry, DuplicateDeviceNameRejected) {
+  spice::Circuit ckt;
+  const auto n = ckt.node("a");
+  ckt.add<spice::Resistor>("R1", n, spice::kGround, 1e3);
+  EXPECT_THROW(ckt.add<spice::Resistor>("R1", n, spice::kGround, 2e3),
+               std::invalid_argument);
+}
+
+TEST(CircuitRegistry, NodeLookup) {
+  spice::Circuit ckt;
+  const auto a = ckt.node("a");
+  EXPECT_EQ(ckt.find_node("a"), a);
+  EXPECT_EQ(ckt.find_node("gnd"), spice::kGround);
+  EXPECT_THROW(ckt.find_node("nope"), std::out_of_range);
+  EXPECT_THROW(ckt.node_name(999), std::out_of_range);
+  EXPECT_EQ(ckt.node_name(a), "a");
+  EXPECT_EQ(ckt.find_device("nothing"), nullptr);
+  // Re-requesting a node returns the same id.
+  EXPECT_EQ(ckt.node("a"), a);
+}
+
+TEST(CircuitRegistry, ElementValidation) {
+  spice::Circuit ckt;
+  const auto n = ckt.node("a");
+  EXPECT_THROW(ckt.add<spice::Resistor>("Rbad", n, spice::kGround, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add<spice::Capacitor>("Cbad", n, spice::kGround, 0.0),
+               std::invalid_argument);
+  auto* r = ckt.add<spice::Resistor>("Rok", n, spice::kGround, 1e3);
+  EXPECT_THROW(r->set_resistance(0.0), std::invalid_argument);
+  r->set_resistance(2e3);
+  EXPECT_DOUBLE_EQ(r->resistance(), 2e3);
+}
+
+TEST(DcSweepErrors, NonConvergencePropagates) {
+  // Conflicting sources: the sweep must throw, not return garbage.
+  spice::Circuit ckt;
+  const auto a = ckt.node("a");
+  auto* v1 =
+      ckt.add<spice::VSource>("V1", a, spice::kGround, spice::SourceSpec::dc(1));
+  ckt.add<spice::VSource>("V2", a, spice::kGround, spice::SourceSpec::dc(2));
+  ckt.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  spice::DCSweep sweep(
+      ckt, [&](double v) { v1->set_spec(spice::SourceSpec::dc(v)); },
+      {0.0, 1.0}, {});
+  EXPECT_THROW(sweep.run(), std::runtime_error);
+}
+
+TEST(Describe, ArchitectureNames) {
+  EXPECT_STREQ(core::to_string(core::Architecture::kOSR), "OSR");
+  EXPECT_STREQ(core::to_string(core::Architecture::kNVPG), "NVPG");
+  EXPECT_STREQ(core::to_string(core::Architecture::kNOF), "NOF");
+}
+
+TEST(Describe, EnergyBreakdownMentionsEveryPart) {
+  core::EnergyBreakdown b;
+  b.access = 1e-15;
+  b.store = 2e-15;
+  b.duration = 1e-6;
+  const auto text = b.describe();
+  EXPECT_NE(text.find("access="), std::string::npos);
+  EXPECT_NE(text.find("store="), std::string::npos);
+  EXPECT_NE(text.find("total="), std::string::npos);
+  EXPECT_NE(text.find("duration="), std::string::npos);
+}
+
+TEST(Describe, FinFetAndMtjStrings) {
+  const auto pp = models::PaperParams::table1();
+  EXPECT_NE(pp.nmos(1).describe().find("nfin"), std::string::npos);
+  EXPECT_NE(pp.pmos(1).describe().find("pfin"), std::string::npos);
+  EXPECT_NE(pp.mtj.describe().find("Ic="), std::string::npos);
+  EXPECT_STREQ(models::to_string(models::MtjState::kParallel), "P");
+  EXPECT_STREQ(models::to_string(models::MtjState::kAntiparallel), "AP");
+}
+
+TEST(SourceValue, CapacitorEnergyHelper) {
+  spice::Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add<spice::VSource>("V1", a, spice::kGround, spice::SourceSpec::dc(2.0));
+  auto* c = ckt.add<spice::Capacitor>("C1", a, spice::kGround, 1e-12);
+  spice::DCAnalysis dc(ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  // E = C V^2 / 2 at the operating point.
+  EXPECT_NEAR(c->stored_energy(sol->view()), 0.5 * 1e-12 * 4.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace nvsram

@@ -1,0 +1,96 @@
+// Monte-Carlo mismatch analysis: reproducibility, sane distributions, and
+// the expected qualitative effects of variation knobs.
+#include <gtest/gtest.h>
+
+#include "models/paper_params.h"
+#include "sram/montecarlo.h"
+
+namespace nvsram {
+namespace {
+
+using models::PaperParams;
+using sram::CellKind;
+using sram::MonteCarlo;
+using sram::VariationSpec;
+
+TEST(MonteCarloTest, ZeroSigmaReproducesNominal) {
+  VariationSpec spec;
+  spec.vth_sigma = 0.0;
+  spec.kp_rel_sigma = 0.0;
+  MonteCarlo mc(PaperParams::table1(), spec);
+  const auto nominal = sram::hold_snm(PaperParams::table1(), CellKind::kNvSram);
+  const auto summary = mc.hold_snm(3, CellKind::kNvSram);
+  EXPECT_EQ(summary.samples, 3);
+  EXPECT_EQ(summary.failures, 0);
+  EXPECT_NEAR(summary.stats.mean(), nominal.snm, 2e-3);
+  EXPECT_LT(summary.stats.stddev(), 1e-6);
+}
+
+TEST(MonteCarloTest, SameSeedSameResults) {
+  VariationSpec spec;
+  spec.seed = 77;
+  MonteCarlo a(PaperParams::table1(), spec);
+  MonteCarlo b(PaperParams::table1(), spec);
+  const auto ra = a.hold_snm(5);
+  const auto rb = b.hold_snm(5);
+  EXPECT_DOUBLE_EQ(ra.stats.mean(), rb.stats.mean());
+  EXPECT_DOUBLE_EQ(ra.stats.min(), rb.stats.min());
+}
+
+TEST(MonteCarloTest, MismatchSpreadsAndDegradesSnm) {
+  VariationSpec spec;
+  spec.vth_sigma = 0.03;
+  MonteCarlo mc(PaperParams::table1(), spec);
+  const auto nominal = sram::hold_snm(PaperParams::table1(), CellKind::kNvSram);
+  const auto summary = mc.hold_snm(24);
+  EXPECT_GT(summary.stats.stddev(), 1e-3);      // variation spreads the SNM
+  EXPECT_LT(summary.stats.min(), nominal.snm);  // mismatch only hurts
+  // Mean of mismatched SNM sits below the nominal (min of two lobes).
+  EXPECT_LT(summary.stats.mean(), nominal.snm + 1e-3);
+}
+
+TEST(MonteCarloTest, LargerSigmaLowersYield) {
+  VariationSpec small;
+  small.vth_sigma = 0.01;
+  VariationSpec large;
+  large.vth_sigma = 0.08;
+  MonteCarlo mc_small(PaperParams::table1(), small);
+  MonteCarlo mc_large(PaperParams::table1(), large);
+  const auto rs = mc_small.hold_snm(24, CellKind::kNvSram, 0.18);
+  const auto rl = mc_large.hold_snm(24, CellKind::kNvSram, 0.18);
+  EXPECT_LE(rs.failures, rl.failures);
+  EXPECT_GT(rl.stats.stddev(), rs.stats.stddev());
+}
+
+TEST(MonteCarloTest, StoreMarginDistribution) {
+  VariationSpec spec;
+  MonteCarlo mc(PaperParams::table1(), spec);
+  const auto summary = mc.store_margin(16);
+  EXPECT_EQ(summary.samples, 16);
+  // Nominal overdrive is ~1.45-1.6x; variation spreads but rarely breaks it.
+  EXPECT_GT(summary.stats.mean(), 1.2);
+  EXPECT_LT(summary.stats.mean(), 2.0);
+  EXPECT_GT(summary.yield(), 0.85);
+  EXPECT_GT(summary.stats.stddev(), 0.005);
+}
+
+TEST(MonteCarloTest, ReadSnmWorseThanHoldUnderVariation) {
+  VariationSpec spec;
+  MonteCarlo mc_h(PaperParams::table1(), spec);
+  MonteCarlo mc_r(PaperParams::table1(), spec);
+  const auto h = mc_h.hold_snm(10);
+  const auto r = mc_r.read_snm(10);
+  EXPECT_LT(r.stats.mean(), h.stats.mean());
+}
+
+TEST(MonteCarloTest, YieldAccounting) {
+  sram::MonteCarloSummary s;
+  s.samples = 10;
+  s.failures = 2;
+  EXPECT_DOUBLE_EQ(s.yield(), 0.8);
+  sram::MonteCarloSummary empty;
+  EXPECT_DOUBLE_EQ(empty.yield(), 0.0);
+}
+
+}  // namespace
+}  // namespace nvsram

@@ -1,0 +1,190 @@
+// MTJ macromodel: Table I derived quantities, bias-dependent TMR, CIMS
+// polarity/threshold/dwell behaviour, and the switching-state integrator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/mtj.h"
+#include "util/stats.h"
+
+namespace nvsram {
+namespace {
+
+using models::MTJ;
+using models::MTJParams;
+using models::MtjState;
+using models::SwitchingState;
+
+// ---- Table I constants -------------------------------------------------------
+
+TEST(MTJTable1, ParallelResistanceMatchesPaper) {
+  const auto p = models::paper_mtj();
+  EXPECT_NEAR(p.rp0(), 6366.0, 10.0);  // Table I: 6366 Ohm
+}
+
+TEST(MTJTable1, AntiparallelResistanceMatchesPaper) {
+  const auto p = models::paper_mtj();
+  EXPECT_NEAR(p.rap0(), 12.7e3, 0.1e3);  // Table I: 12.7 kOhm
+}
+
+TEST(MTJTable1, CriticalCurrentMatchesPaper) {
+  const auto p = models::paper_mtj();
+  EXPECT_NEAR(p.critical_current(), 15.7e-6, 0.1e-6);  // Table I: 15.7 uA
+}
+
+TEST(MTJTable1, FastVariantScalesIc) {
+  const auto fast = models::paper_mtj(true);
+  EXPECT_NEAR(fast.critical_current(), 15.7e-6 / 5.0, 0.1e-6);
+}
+
+// ---- resistance & TMR ----------------------------------------------------------
+
+TEST(MTJModel, TmrRollsOffWithBias) {
+  MTJ mtj(models::paper_mtj());
+  EXPECT_NEAR(mtj.tmr(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(mtj.tmr(0.5), 0.5, 1e-12);  // Vh = 0.5 V by definition
+  EXPECT_LT(mtj.tmr(1.0), 0.21);
+  EXPECT_NEAR(mtj.tmr(0.3), mtj.tmr(-0.3), 1e-15);  // even in V
+}
+
+TEST(MTJModel, ParallelResistanceBiasIndependent) {
+  MTJ mtj(models::paper_mtj());
+  EXPECT_DOUBLE_EQ(mtj.resistance(MtjState::kParallel, 0.0),
+                   mtj.resistance(MtjState::kParallel, 0.5));
+}
+
+TEST(MTJModel, ApResistanceDecreasesWithBias) {
+  MTJ mtj(models::paper_mtj());
+  std::vector<double> r;
+  for (double v : util::linspace(0.0, 0.8, 30)) {
+    r.push_back(mtj.resistance(MtjState::kAntiparallel, v));
+  }
+  EXPECT_TRUE(util::is_monotone_nonincreasing(r));
+  EXPECT_GT(r.front(), r.back() * 1.3);
+}
+
+TEST(MTJModel, CurrentConsistentWithResistance) {
+  MTJ mtj(models::paper_mtj());
+  for (double v : {-0.4, -0.1, 0.05, 0.3, 0.6}) {
+    for (auto s : {MtjState::kParallel, MtjState::kAntiparallel}) {
+      const auto iv = mtj.current(s, v);
+      EXPECT_NEAR(iv.current, v / mtj.resistance(s, v),
+                  1e-9 * std::fabs(iv.current) + 1e-18);
+    }
+  }
+}
+
+TEST(MTJModel, ConductanceMatchesFiniteDifference) {
+  MTJ mtj(models::paper_mtj());
+  const double h = 1e-7;
+  for (double v : {-0.6, -0.2, 0.0, 0.25, 0.55}) {
+    for (auto s : {MtjState::kParallel, MtjState::kAntiparallel}) {
+      const double num =
+          (mtj.current(s, v + h).current - mtj.current(s, v - h).current) /
+          (2 * h);
+      EXPECT_NEAR(mtj.current(s, v).conductance, num,
+                  1e-5 * std::fabs(num) + 1e-15)
+          << "state=" << models::to_string(s) << " v=" << v;
+    }
+  }
+}
+
+// ---- CIMS polarity and dwell ----------------------------------------------------
+
+TEST(MTJSwitching, PolarityConvention) {
+  // Positive current (pinned -> free) drives AP -> P; negative drives P -> AP.
+  EXPECT_TRUE(MTJ::polarity_drives_switch(MtjState::kAntiparallel, +1e-5));
+  EXPECT_FALSE(MTJ::polarity_drives_switch(MtjState::kAntiparallel, -1e-5));
+  EXPECT_TRUE(MTJ::polarity_drives_switch(MtjState::kParallel, -1e-5));
+  EXPECT_FALSE(MTJ::polarity_drives_switch(MtjState::kParallel, +1e-5));
+}
+
+TEST(MTJSwitching, SubCriticalNeverSwitches) {
+  MTJ mtj(models::paper_mtj());
+  const double ic = mtj.params().critical_current();
+  EXPECT_TRUE(std::isinf(mtj.switching_time(MtjState::kParallel, -0.99 * ic)));
+  EXPECT_TRUE(std::isinf(mtj.switching_time(MtjState::kParallel, -ic)));
+}
+
+TEST(MTJSwitching, PaperOperatingPointSwitchesWithinStorePulse) {
+  // 1.5 x Ic held for 10 ns must switch: t_sw = tau0 / 0.5 = 6 ns < 10 ns.
+  MTJ mtj(models::paper_mtj());
+  const double i = -1.5 * mtj.params().critical_current();
+  const double tsw = mtj.switching_time(MtjState::kParallel, i);
+  EXPECT_NEAR(tsw, 2.0 * mtj.params().tau0, 1e-12);
+  EXPECT_LT(tsw, 10e-9);
+}
+
+TEST(MTJSwitching, DwellTimeShrinksWithOverdrive) {
+  MTJ mtj(models::paper_mtj());
+  const double ic = mtj.params().critical_current();
+  std::vector<double> dwell;
+  for (double f : {1.2, 1.5, 2.0, 3.0, 5.0}) {
+    dwell.push_back(mtj.switching_time(MtjState::kAntiparallel, f * ic));
+  }
+  EXPECT_TRUE(util::is_monotone_nonincreasing(dwell));
+}
+
+TEST(MTJSwitching, WrongPolarityNeverSwitchesEvenWhenLarge) {
+  MTJ mtj(models::paper_mtj());
+  const double ic = mtj.params().critical_current();
+  EXPECT_TRUE(std::isinf(mtj.switching_time(MtjState::kParallel, +10 * ic)));
+}
+
+// ---- SwitchingState integrator -------------------------------------------------
+
+TEST(SwitchingStateTest, AccumulatesAndFlips) {
+  MTJ mtj(models::paper_mtj());
+  SwitchingState s(MtjState::kParallel);
+  const double i = -1.5 * mtj.params().critical_current();  // t_sw = 6 ns
+  bool flipped = false;
+  for (int k = 0; k < 70 && !flipped; ++k) {
+    flipped = s.advance(mtj, i, 0.1e-9);
+  }
+  EXPECT_TRUE(flipped);
+  EXPECT_EQ(s.state(), MtjState::kAntiparallel);
+}
+
+TEST(SwitchingStateTest, FlipTimeMatchesDwellModel) {
+  MTJ mtj(models::paper_mtj());
+  SwitchingState s(MtjState::kParallel);
+  const double i = -2.0 * mtj.params().critical_current();  // t_sw = 3 ns
+  double t = 0.0;
+  const double dt = 0.05e-9;
+  while (!s.advance(mtj, i, dt)) {
+    t += dt;
+    ASSERT_LT(t, 10e-9);
+  }
+  EXPECT_NEAR(t, 3e-9, 0.1e-9);
+}
+
+TEST(SwitchingStateTest, SubCriticalResetsProgress) {
+  MTJ mtj(models::paper_mtj());
+  SwitchingState s(MtjState::kParallel);
+  const double i = -1.5 * mtj.params().critical_current();
+  // Half the dwell, then a pause: progress must reset.
+  for (int k = 0; k < 30; ++k) s.advance(mtj, i, 0.1e-9);
+  EXPECT_GT(s.progress(), 0.3);
+  s.advance(mtj, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.progress(), 0.0);
+  EXPECT_EQ(s.state(), MtjState::kParallel);
+}
+
+TEST(SwitchingStateTest, ForceStateResets) {
+  SwitchingState s(MtjState::kParallel);
+  s.force_state(MtjState::kAntiparallel);
+  EXPECT_EQ(s.state(), MtjState::kAntiparallel);
+  EXPECT_DOUBLE_EQ(s.progress(), 0.0);
+}
+
+TEST(MTJParamsValidation, RejectsNonPositive) {
+  MTJParams p = models::paper_mtj();
+  p.diameter = 0.0;
+  EXPECT_THROW(MTJ{p}, std::invalid_argument);
+  p = models::paper_mtj();
+  p.vh = -1.0;
+  EXPECT_THROW(MTJ{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvsram

@@ -1,0 +1,123 @@
+// MTJ reliability closures: retention, read disturb, write error rate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/mtj.h"
+#include "util/stats.h"
+
+namespace nvsram::models {
+namespace {
+
+TEST(MtjRetention, DecadeScaleAtDelta60) {
+  MTJ mtj(paper_mtj());
+  // tau_a exp(60) ~ 1.1e17 s — far beyond the 10-year spec (3.2e8 s).
+  EXPECT_GT(mtj.retention_time(), 3.2e8);
+  EXPECT_NEAR(std::log(mtj.retention_time() / 1e-9), 60.0, 1e-9);
+}
+
+TEST(MtjRetention, LowerBarrierShortensRetention) {
+  auto p40 = paper_mtj();
+  p40.thermal_stability = 40.0;
+  MTJ weak(p40), strong(paper_mtj());
+  EXPECT_LT(weak.retention_time(), 1e-6 * strong.retention_time());
+}
+
+TEST(MtjDisturb, ZeroForWrongPolarity) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  // Positive current cannot disturb a P state.
+  EXPECT_DOUBLE_EQ(
+      mtj.disturb_probability(MtjState::kParallel, 0.9 * ic, 1.0), 0.0);
+}
+
+TEST(MtjDisturb, NegligibleAtRestoreCurrents) {
+  // Restore pulls ~0.3 x Ic through the MTJs for ~2 ns: the disturb
+  // probability must be astronomically small.
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  const double p =
+      mtj.disturb_probability(MtjState::kAntiparallel, 0.3 * ic, 2e-9);
+  EXPECT_LT(p, 1e-15);
+}
+
+TEST(MtjDisturb, GrowsWithCurrentAndTime) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  std::vector<double> by_current, by_time;
+  for (double f : {0.5, 0.7, 0.9, 0.99}) {
+    by_current.push_back(
+        mtj.disturb_probability(MtjState::kAntiparallel, f * ic, 1e-6));
+  }
+  EXPECT_TRUE(util::is_monotone_nondecreasing(by_current));
+  EXPECT_GT(by_current.back(), by_current.front());
+  for (double t : {1e-9, 1e-6, 1e-3}) {
+    by_time.push_back(
+        mtj.disturb_probability(MtjState::kAntiparallel, 0.95 * ic, t));
+  }
+  EXPECT_TRUE(util::is_monotone_nondecreasing(by_time));
+}
+
+TEST(MtjWer, ShortPulseAlwaysFails) {
+  MTJ mtj(paper_mtj());
+  const double i = -1.5 * mtj.params().critical_current();
+  // t_sw = 6 ns: a 4 ns pulse cannot complete the ballistic switch.
+  EXPECT_DOUBLE_EQ(mtj.write_error_rate(MtjState::kParallel, i, 4e-9), 1.0);
+}
+
+TEST(MtjWer, PaperPulseIsReliable) {
+  MTJ mtj(paper_mtj());
+  const double i = -1.5 * mtj.params().critical_current();
+  // 10 ns at 1.5 Ic: error rate low; 20 ns: much lower.
+  const double wer10 = mtj.write_error_rate(MtjState::kParallel, i, 10e-9);
+  const double wer20 = mtj.write_error_rate(MtjState::kParallel, i, 20e-9);
+  EXPECT_LT(wer10, 2e-3);
+  EXPECT_LT(wer20, 1e-9);
+  EXPECT_LT(wer20, wer10);
+}
+
+TEST(MtjWer, MonotoneInPulseWidthAndOverdrive) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  std::vector<double> by_pulse, by_over;
+  for (double t : {7e-9, 10e-9, 15e-9, 25e-9}) {
+    by_pulse.push_back(mtj.write_error_rate(MtjState::kParallel, -1.5 * ic, t));
+  }
+  EXPECT_TRUE(util::is_monotone_nonincreasing(by_pulse));
+  for (double f : {1.2, 1.5, 2.0, 3.0}) {
+    by_over.push_back(
+        mtj.write_error_rate(MtjState::kParallel, -f * ic, 12e-9));
+  }
+  EXPECT_TRUE(util::is_monotone_nonincreasing(by_over));
+}
+
+TEST(MtjWer, WrongPolarityNeverWrites) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  EXPECT_DOUBLE_EQ(mtj.write_error_rate(MtjState::kParallel, +3 * ic, 1.0),
+                   1.0);
+}
+
+TEST(MtjWer, SubCriticalWriteNeedsThermalHelp) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  // 0.95 x Ic: tau = tau_a exp(3) ~ 20 ns; a 100 ns pulse mostly succeeds.
+  const double wer = mtj.write_error_rate(MtjState::kParallel, -0.95 * ic,
+                                          100e-9);
+  EXPECT_LT(wer, 0.05);
+  EXPECT_GT(wer, 1e-4);
+}
+
+TEST(MtjThermalTau, ContinuousAtCriticalCurrent) {
+  MTJ mtj(paper_mtj());
+  const double ic = mtj.params().critical_current();
+  const double below =
+      mtj.thermal_switching_tau(MtjState::kParallel, -0.999 * ic);
+  // Just below Ic the barrier is nearly gone: tau -> tau_a scale, far from
+  // the retention scale.
+  EXPECT_LT(below, 1e-8);
+  EXPECT_GT(below, 1e-10);
+}
+
+}  // namespace
+}  // namespace nvsram::models

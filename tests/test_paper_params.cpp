@@ -1,0 +1,70 @@
+// Table I configuration bundle.
+#include <gtest/gtest.h>
+
+#include "models/paper_params.h"
+
+namespace nvsram::models {
+namespace {
+
+TEST(PaperParamsTest, Table1Defaults) {
+  const auto pp = PaperParams::table1();
+  EXPECT_DOUBLE_EQ(pp.vdd, 0.9);
+  EXPECT_DOUBLE_EQ(pp.vsr, 0.65);
+  EXPECT_DOUBLE_EQ(pp.vctrl_store, 0.5);
+  EXPECT_DOUBLE_EQ(pp.vctrl_normal, 0.07);
+  EXPECT_DOUBLE_EQ(pp.vctrl_sleep, 0.04);
+  EXPECT_DOUBLE_EQ(pp.vvdd_sleep, 0.7);
+  EXPECT_DOUBLE_EQ(pp.vpg_supercutoff, 1.0);
+  EXPECT_EQ(pp.fins_power_switch, 7);
+  EXPECT_EQ(pp.fins_load, 1);
+  EXPECT_EQ(pp.fins_driver, 1);
+  EXPECT_EQ(pp.fins_access, 1);
+  EXPECT_EQ(pp.fins_ps, 1);
+  EXPECT_DOUBLE_EQ(pp.clock_hz, 300e6);
+  EXPECT_DOUBLE_EQ(pp.store_pulse, 10e-9);
+  EXPECT_DOUBLE_EQ(pp.store_current_factor, 1.5);
+}
+
+TEST(PaperParamsTest, ClockPeriod) {
+  EXPECT_NEAR(PaperParams::table1().clock_period(), 3.3333e-9, 1e-12);
+  EXPECT_NEAR(PaperParams::table1_fast().clock_period(), 1e-9, 1e-15);
+}
+
+TEST(PaperParamsTest, FastVariantDiffers) {
+  const auto fast = PaperParams::table1_fast();
+  EXPECT_DOUBLE_EQ(fast.clock_hz, 1e9);
+  EXPECT_NEAR(fast.mtj.jc, 1e10, 1.0);  // 1e6 A/cm^2 in A/m^2
+  EXPECT_LT(fast.vsr, 0.65);            // rescaled store biases
+  EXPECT_LT(fast.vctrl_store, 0.5);
+}
+
+TEST(PaperParamsTest, FetPresetsCarryGeometryAndTemperature) {
+  auto pp = PaperParams::table1();
+  pp.temperature = 350.0;
+  pp.fin_height = 30e-9;
+  const auto n = pp.nmos(2);
+  EXPECT_EQ(n.fin_count, 2);
+  EXPECT_DOUBLE_EQ(n.fin_height, 30e-9);
+  EXPECT_DOUBLE_EQ(n.temperature, 350.0);
+  const auto p = pp.pmos(3);
+  EXPECT_EQ(p.type, FetType::kPmos);
+  EXPECT_DOUBLE_EQ(p.temperature, 350.0);
+}
+
+TEST(PaperParamsTest, DescribeIsComplete) {
+  const auto text = PaperParams::table1().describe();
+  EXPECT_NE(text.find("Table I"), std::string::npos);
+  EXPECT_NE(text.find("VSR=0.65"), std::string::npos);
+  EXPECT_NE(text.find("N_FSW=7"), std::string::npos);
+  EXPECT_NE(text.find("300.000 MHz"), std::string::npos);
+  EXPECT_NE(text.find("MTJ"), std::string::npos);
+}
+
+TEST(PaperParamsTest, MtjDerivedQuantities) {
+  const auto pp = PaperParams::table1();
+  EXPECT_NEAR(pp.mtj.rp0(), 6366.0, 10.0);
+  EXPECT_NEAR(pp.mtj.critical_current(), 15.7e-6, 0.1e-6);
+}
+
+}  // namespace
+}  // namespace nvsram::models

@@ -1,0 +1,125 @@
+// Peripheral driver-energy extension: line-energy arithmetic and its effect
+// on the architecture comparison (the paper's conclusions must survive).
+#include <gtest/gtest.h>
+
+#include "core/energy_model.h"
+#include "core/peripheral.h"
+
+namespace nvsram::core {
+namespace {
+
+sram::CellEnergetics fake_6t() {
+  sram::CellEnergetics c;
+  c.t_clk = 1.0 / 300e6;
+  c.e_read = 3.8e-15;
+  c.e_write = 4.9e-15;
+  c.p_static_normal = 23.2e-9;
+  c.p_static_sleep = 9.5e-9;
+  c.p_static_shutdown = 30e-12;
+  c.e_sleep_transition = 1e-15;
+  return c;
+}
+
+sram::CellEnergetics fake_nv() {
+  sram::CellEnergetics c = fake_6t();
+  c.p_static_normal = 23.9e-9;
+  c.p_static_sleep = 10.2e-9;
+  c.e_store = 400e-15;
+  c.t_store = 24e-9;
+  c.e_restore = 33e-15;
+  c.t_restore = 2.1e-9;
+  return c;
+}
+
+PeripheralModel paper_peripheral() {
+  return PeripheralModel(PeripheralParams{}, models::PaperParams::table1());
+}
+
+TEST(PeripheralModelTest, LineEnergyScalesWithGeometry) {
+  const auto m = paper_peripheral();
+  const double e32 = m.line_energy(32, 2, 0.9);
+  const double e64 = m.line_energy(64, 2, 0.9);
+  EXPECT_NEAR(e64, 2.0 * e32, 1e-20);
+  // Quadratic in swing.
+  EXPECT_NEAR(m.line_energy(32, 2, 0.45), 0.25 * e32, 1e-20);
+  // More gates per cell -> more energy.
+  EXPECT_GT(m.line_energy(32, 4, 0.9), e32);
+}
+
+TEST(PeripheralModelTest, PerCellOverheadIndependentOfWidth) {
+  // Energy per cell is the line energy divided by cells on the line: the
+  // per-cell number converges to a constant for wide arrays.
+  const auto m = paper_peripheral();
+  EXPECT_NEAR(m.access_overhead_per_cell(32), m.access_overhead_per_cell(256),
+              1e-18);
+}
+
+TEST(PeripheralModelTest, OverheadsAreFemtojouleScale) {
+  const auto m = paper_peripheral();
+  for (double e : {m.access_overhead_per_cell(32), m.store_overhead_per_cell(32),
+                   m.restore_overhead_per_cell(32)}) {
+    EXPECT_GT(e, 1e-18);
+    EXPECT_LT(e, 20e-15);
+  }
+  // Store swings two lines; restore only SR.
+  EXPECT_GT(m.store_overhead_per_cell(32), m.restore_overhead_per_cell(32));
+}
+
+TEST(PeripheralModelTest, ValidatesInput) {
+  EXPECT_THROW(PeripheralModel(PeripheralParams{.driver_efficiency = 0.0},
+                               models::PaperParams::table1()),
+               std::invalid_argument);
+  const auto m = paper_peripheral();
+  EXPECT_THROW(m.line_energy(0, 2, 0.9), std::invalid_argument);
+}
+
+TEST(PeripheralIntegration, AddsEnergyWithoutChangingConclusions) {
+  EnergyModel bare(fake_6t(), fake_nv());
+  EnergyModel loaded(fake_6t(), fake_nv());
+  loaded.set_peripheral(paper_peripheral());
+
+  BenchmarkParams p;
+  p.n_rw = 100;
+  p.t_sl = 100e-9;
+
+  // The peripheral term is strictly additive...
+  for (auto a : {Architecture::kOSR, Architecture::kNVPG, Architecture::kNOF}) {
+    const auto b_bare = bare.cycle_energy(a, p);
+    const auto b_loaded = loaded.cycle_energy(a, p);
+    EXPECT_DOUBLE_EQ(b_bare.peripheral, 0.0);
+    EXPECT_GT(b_loaded.peripheral, 0.0) << to_string(a);
+    EXPECT_NEAR(b_loaded.total() - b_loaded.peripheral, b_bare.total(),
+                1e-20);
+  }
+
+  // ...and the paper's ordering survives: NVPG ~ OSR at large n_RW, NOF far
+  // above, BET still finite and in the same decade.
+  p.n_rw = 10000;
+  EXPECT_LT(loaded.e_cyc(Architecture::kNVPG, p) /
+                loaded.e_cyc(Architecture::kOSR, p),
+            1.15);
+  EXPECT_GT(loaded.e_cyc(Architecture::kNOF, p) /
+                loaded.e_cyc(Architecture::kOSR, p),
+            2.0);
+
+  p.n_rw = 100;
+  const auto bet_bare = bare.break_even_time(Architecture::kNVPG, p);
+  const auto bet_loaded = loaded.break_even_time(Architecture::kNVPG, p);
+  ASSERT_TRUE(bet_bare && bet_loaded);
+  EXPECT_GT(*bet_loaded, *bet_bare);        // overhead can only hurt
+  EXPECT_LT(*bet_loaded, 10.0 * *bet_bare);  // but not catastrophically
+}
+
+TEST(PeripheralIntegration, NofPaysPerAccessNvpgPerShutdown) {
+  EnergyModel m(fake_6t(), fake_nv());
+  m.set_peripheral(paper_peripheral());
+  BenchmarkParams p;
+  p.n_rw = 1000;
+  const auto nvpg = m.cycle_energy(Architecture::kNVPG, p);
+  const auto nof = m.cycle_energy(Architecture::kNOF, p);
+  // NOF swings SR on every access: its peripheral term dwarfs NVPG's.
+  EXPECT_GT(nof.peripheral, 1.5 * nvpg.peripheral);
+}
+
+}  // namespace
+}  // namespace nvsram::core

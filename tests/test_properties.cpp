@@ -1,0 +1,191 @@
+// Property-based parameterized sweeps: model invariants that must hold at
+// EVERY point of a benchmark-parameter grid, and device-model properties
+// over a bias/geometry grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/energy_model.h"
+#include "models/finfet.h"
+#include "models/mtj.h"
+#include "util/stats.h"
+
+namespace nvsram {
+namespace {
+
+using core::Architecture;
+using core::BenchmarkParams;
+using core::EnergyModel;
+
+sram::CellEnergetics grid_6t() {
+  sram::CellEnergetics c;
+  c.t_clk = 1.0 / 300e6;
+  c.e_read = 3.8e-15;
+  c.e_write = 4.9e-15;
+  c.p_static_normal = 23.2e-9;
+  c.p_static_sleep = 9.5e-9;
+  c.p_static_shutdown = 30e-12;
+  c.e_sleep_transition = 1e-15;
+  return c;
+}
+
+sram::CellEnergetics grid_nv() {
+  sram::CellEnergetics c = grid_6t();
+  c.p_static_normal = 23.9e-9;
+  c.p_static_sleep = 10.2e-9;
+  c.e_store = 400e-15;
+  c.t_store = 24e-9;
+  c.e_restore = 33e-15;
+  c.t_restore = 2.1e-9;
+  return c;
+}
+
+// ---- energy-model grid: (architecture, n_rw, rows, t_sl) -----------------
+
+using GridPoint = std::tuple<Architecture, int, int, double>;
+
+class ModelGrid : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  ModelGrid() : model_(grid_6t(), grid_nv()) {}
+  BenchmarkParams params() const {
+    const auto [a, n_rw, rows, t_sl] = GetParam();
+    BenchmarkParams p;
+    p.n_rw = n_rw;
+    p.rows = rows;
+    p.t_sl = t_sl;
+    return p;
+  }
+  Architecture arch() const { return std::get<0>(GetParam()); }
+  EnergyModel model_;
+};
+
+TEST_P(ModelGrid, BreakdownNonNegativeAndSumsToTotal) {
+  const auto b = model_.cycle_energy(arch(), params());
+  for (double part : {b.access, b.standby, b.sleep, b.store, b.store_wait,
+                      b.shutdown, b.restore, b.restore_wait, b.peripheral}) {
+    EXPECT_GE(part, 0.0);
+  }
+  const double sum = b.access + b.standby + b.sleep + b.store + b.store_wait +
+                     b.shutdown + b.restore + b.restore_wait + b.peripheral;
+  EXPECT_NEAR(b.total(), sum, 1e-24);
+  EXPECT_GT(b.duration, 0.0);
+}
+
+TEST_P(ModelGrid, EnergyAffineInShutdownTime) {
+  // E(t_sd) must be exactly affine: E(2t) - E(t) == E(t) - E(0).
+  auto p = params();
+  p.t_sd = 0.0;
+  const double e0 = model_.e_cyc(arch(), p);
+  p.t_sd = 1e-4;
+  const double e1 = model_.e_cyc(arch(), p);
+  p.t_sd = 2e-4;
+  const double e2 = model_.e_cyc(arch(), p);
+  EXPECT_NEAR(e2 - e1, e1 - e0, 1e-9 * std::max(e1, 1e-20));
+}
+
+TEST_P(ModelGrid, SlopeMatchesDeclaredShutdownPower) {
+  auto p = params();
+  p.t_sd = 0.0;
+  const double e0 = model_.e_cyc(arch(), p);
+  p.t_sd = 1e-3;
+  const double slope = (model_.e_cyc(arch(), p) - e0) / 1e-3;
+  EXPECT_NEAR(slope, model_.shutdown_slope(arch()),
+              1e-6 * model_.shutdown_slope(arch()) + 1e-18);
+}
+
+TEST_P(ModelGrid, StoreFreeNeverCostsMore) {
+  auto p = params();
+  const double full = model_.e_cyc(arch(), p);
+  p.store_free_shutdown = true;
+  EXPECT_LE(model_.e_cyc(arch(), p), full * (1.0 + 1e-12));
+}
+
+TEST_P(ModelGrid, EnergyLinearInNrwWhenPhasesFixed) {
+  // With t_sl folded in, the inner loop repeats identically:
+  // E(2n) - E(n) == E(3n) - E(2n).
+  auto p = params();
+  const int n = p.n_rw;
+  const double e1 = model_.e_cyc(arch(), p);
+  p.n_rw = 2 * n;
+  const double e2 = model_.e_cyc(arch(), p);
+  p.n_rw = 3 * n;
+  const double e3 = model_.e_cyc(arch(), p);
+  EXPECT_NEAR(e3 - e2, e2 - e1, 1e-9 * std::max(e2, 1e-20));
+}
+
+TEST_P(ModelGrid, BetConsistentWithCurveCrossing) {
+  if (arch() == Architecture::kOSR) return;
+  const auto bet = model_.break_even_time(arch(), params());
+  if (!bet || *bet == 0.0) return;
+  auto p = params();
+  p.t_sd = *bet * 0.5;
+  EXPECT_GT(model_.e_cyc(arch(), p), model_.e_cyc(Architecture::kOSR, p));
+  p.t_sd = *bet * 2.0;
+  EXPECT_LT(model_.e_cyc(arch(), p), model_.e_cyc(Architecture::kOSR, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Combine(
+        ::testing::Values(Architecture::kOSR, Architecture::kNVPG,
+                          Architecture::kNOF),
+        ::testing::Values(1, 10, 1000),
+        ::testing::Values(1, 32, 1024),
+        ::testing::Values(0.0, 100e-9, 1e-6)));
+
+// ---- FinFET geometry grid --------------------------------------------------
+
+class FinGeometryGrid : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FinGeometryGrid, CurrentScalesWithEffectiveWidth) {
+  const auto [fins, height] = GetParam();
+  auto base = models::ptm20_nmos(1);
+  auto scaled = base;
+  scaled.fin_count = fins;
+  scaled.fin_height = height;
+  const models::FinFET f_base(base), f_scaled(scaled);
+  const double width_ratio =
+      scaled.effective_width() / base.effective_width();
+  EXPECT_NEAR(f_scaled.on_current() / f_base.on_current(), width_ratio, 1e-9);
+  EXPECT_NEAR(f_scaled.off_current() / f_base.off_current(), width_ratio,
+              1e-9);
+}
+
+TEST_P(FinGeometryGrid, CapacitanceGrowsWithWidth) {
+  const auto [fins, height] = GetParam();
+  auto p = models::ptm20_nmos(1);
+  const double c1 = p.cgs();
+  p.fin_count = fins;
+  p.fin_height = height;
+  EXPECT_GE(p.cgs(), c1 * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, FinGeometryGrid,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                                            ::testing::Values(28e-9, 35e-9,
+                                                              45e-9)));
+
+// ---- MTJ scaling grid --------------------------------------------------------
+
+class MtjDiameterGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(MtjDiameterGrid, ResistanceAndIcScaleWithArea) {
+  const double d = GetParam();
+  auto p = models::paper_mtj();
+  p.diameter = d;
+  const models::MTJ m(p);
+  // R ~ 1/A, Ic ~ A: their product is diameter-independent.
+  const double product = p.rp0() * p.critical_current();
+  auto ref = models::paper_mtj();
+  const double ref_product = ref.rp0() * ref.critical_current();
+  EXPECT_NEAR(product, ref_product, 1e-9 * ref_product);
+  // The half-TMR voltage is geometry-independent by construction.
+  EXPECT_NEAR(m.tmr(p.vh), 0.5 * p.tmr0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, MtjDiameterGrid,
+                         ::testing::Values(10e-9, 20e-9, 30e-9, 45e-9));
+
+}  // namespace
+}  // namespace nvsram

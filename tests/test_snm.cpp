@@ -1,0 +1,104 @@
+// SNM computation on synthetic curves with known answers, plus the
+// mismatched-pair overload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sram/snm.h"
+#include "util/stats.h"
+
+namespace nvsram::sram {
+namespace {
+
+// Ideal step inverter: vout = vdd for vin < vm, 0 after; the butterfly of
+// two such inverters admits a square of side min(vdd - vm, vm)... for a
+// symmetric threshold the exact SNM is vdd/2 with an instantaneous step at
+// vm = vdd/2 (each lobe is a (vdd/2) x (vdd/2) opening).
+std::vector<std::pair<double, double>> step_vtc(double vdd, double vm,
+                                                int points = 201) {
+  std::vector<std::pair<double, double>> vtc;
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd * i / (points - 1);
+    vtc.emplace_back(x, x < vm ? vdd : 0.0);
+  }
+  return vtc;
+}
+
+// Straight-line "inverter": vout = vdd - vin.  The butterfly degenerates to
+// a single line: SNM must be ~0.
+std::vector<std::pair<double, double>> linear_vtc(double vdd, int points = 101) {
+  std::vector<std::pair<double, double>> vtc;
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd * i / (points - 1);
+    vtc.emplace_back(x, vdd - x);
+  }
+  return vtc;
+}
+
+TEST(SnmSynthetic, IdealStepInverterGivesHalfVdd) {
+  const auto r = compute_snm(step_vtc(1.0, 0.5));
+  EXPECT_NEAR(r.snm, 0.5, 0.02);
+  EXPECT_NEAR(r.lobe_high, r.lobe_low, 0.02);
+}
+
+TEST(SnmSynthetic, AsymmetricThresholdShrinksBothLobes) {
+  // An identical pair with vm = 0.3: the upper lobe is limited horizontally
+  // (the step at 0.3) and the lower vertically (the mirror's plateau at
+  // 0.3), so BOTH lobes collapse to ~0.3.
+  const auto r = compute_snm(step_vtc(1.0, 0.3));
+  EXPECT_NEAR(r.snm, 0.3, 0.03);
+  EXPECT_NEAR(r.lobe_high, 0.3, 0.03);
+  EXPECT_NEAR(r.lobe_low, 0.3, 0.03);
+}
+
+TEST(SnmSynthetic, LinearInverterHasNoMargin) {
+  const auto r = compute_snm(linear_vtc(1.0));
+  EXPECT_LT(r.snm, 0.02);
+}
+
+TEST(SnmSynthetic, TooFewPointsRejected) {
+  EXPECT_THROW(compute_snm({{0.0, 1.0}, {1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(SnmSynthetic, MismatchedPairTakesWorstLobe) {
+  // Inverter A switches at 0.5, inverter B at 0.3: one lobe shrinks.
+  const auto a = step_vtc(1.0, 0.5);
+  const auto b = step_vtc(1.0, 0.3);
+  const auto sym = compute_snm(a);
+  const auto mis = compute_snm(a, b);
+  EXPECT_LT(mis.snm, sym.snm);
+  // The identical-pair overload agrees with the two-argument form.
+  const auto self = compute_snm(a, a);
+  EXPECT_NEAR(self.snm, sym.snm, 1e-12);
+}
+
+TEST(SnmSynthetic, MismatchOrderSwapsLobes) {
+  const auto a = step_vtc(1.0, 0.6);
+  const auto b = step_vtc(1.0, 0.4);
+  const auto ab = compute_snm(a, b);
+  const auto ba = compute_snm(b, a);
+  // Swapping the pair mirrors the butterfly: min lobe (the SNM) is equal.
+  EXPECT_NEAR(ab.snm, ba.snm, 0.02);
+  EXPECT_NEAR(ab.lobe_high, ba.lobe_low, 0.03);
+}
+
+TEST(SnmVtc, SweepPointsControlResolution) {
+  const auto pp = models::PaperParams::table1();
+  SnmOptions coarse;
+  coarse.sweep_points = 21;
+  SnmOptions fine;
+  fine.sweep_points = 201;
+  const auto r_coarse = compute_snm(inverter_vtc(pp, CellKind::k6T, coarse));
+  const auto r_fine = compute_snm(inverter_vtc(pp, CellKind::k6T, fine));
+  EXPECT_NEAR(r_coarse.snm, r_fine.snm, 0.02);
+}
+
+TEST(SnmVtc, VtcEndpointsNearRails) {
+  const auto pp = models::PaperParams::table1();
+  const auto vtc = inverter_vtc(pp, CellKind::k6T, SnmOptions{});
+  EXPECT_GT(vtc.front().second, 0.88);
+  EXPECT_LT(vtc.back().second, 0.02);
+}
+
+}  // namespace
+}  // namespace nvsram::sram

@@ -1,0 +1,213 @@
+// Solver robustness: bistable DC convergence, warm starts, singular systems,
+// breakpoint handling, adaptive step behaviour, and event-driven control.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/paper_params.h"
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/fet_element.h"
+#include "spice/mtj_element.h"
+#include "spice/tran.h"
+
+namespace nvsram::spice {
+namespace {
+
+using models::PaperParams;
+
+// Cross-coupled inverter pair (a latch) with no access devices.
+struct LatchFixture {
+  Circuit ckt;
+  NodeId q, qb, vdd;
+
+  LatchFixture() {
+    const auto pp = PaperParams::table1();
+    q = ckt.node("q");
+    qb = ckt.node("qb");
+    vdd = ckt.node("vdd");
+    ckt.add<VSource>("Vdd", vdd, kGround, SourceSpec::dc(0.9));
+    add_finfet(ckt, "pu_q", q, qb, vdd, pp.pmos(1));
+    add_finfet(ckt, "pd_q", q, qb, kGround, pp.nmos(1));
+    add_finfet(ckt, "pu_qb", qb, q, vdd, pp.pmos(1));
+    add_finfet(ckt, "pd_qb", qb, q, kGround, pp.nmos(1));
+  }
+};
+
+TEST(NewtonRobustness, BistableLatchConvergesFromZero) {
+  LatchFixture f;
+  DCAnalysis dc(f.ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  // Any valid DC point: both nodes within the rails and KCL satisfied.
+  const double vq = sol->node_voltage(f.q);
+  const double vqb = sol->node_voltage(f.qb);
+  EXPECT_GE(vq, -1e-3);
+  EXPECT_LE(vq, 0.901);
+  EXPECT_GE(vqb, -1e-3);
+  EXPECT_LE(vqb, 0.901);
+}
+
+TEST(NewtonRobustness, WarmStartSelectsIntendedState) {
+  LatchFixture f;
+  const MnaLayout layout = f.ckt.build_layout();
+  for (bool data : {true, false}) {
+    linalg::Vector guess(layout.unknown_count(), 0.0);
+    guess[layout.node_index(f.vdd)] = 0.9;
+    guess[layout.node_index(f.q)] = data ? 0.9 : 0.0;
+    guess[layout.node_index(f.qb)] = data ? 0.0 : 0.9;
+    DCAnalysis dc(f.ckt);
+    const auto sol = dc.solve(&guess);
+    ASSERT_TRUE(sol.has_value());
+    if (data) {
+      EXPECT_GT(sol->node_voltage(f.q), 0.85);
+      EXPECT_LT(sol->node_voltage(f.qb), 0.05);
+    } else {
+      EXPECT_LT(sol->node_voltage(f.q), 0.05);
+      EXPECT_GT(sol->node_voltage(f.qb), 0.85);
+    }
+  }
+}
+
+TEST(NewtonRobustness, ConflictingVoltageSourcesFail) {
+  // Two sources forcing different voltages across the same node pair:
+  // structurally singular — every strategy must give up, not crash.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add<VSource>("V1", a, kGround, SourceSpec::dc(1.0));
+  ckt.add<VSource>("V2", a, kGround, SourceSpec::dc(2.0));
+  ckt.add<Resistor>("R1", a, kGround, 1e3);
+  DCAnalysis dc(ckt);
+  EXPECT_FALSE(dc.solve().has_value());
+}
+
+TEST(NewtonRobustness, DanglingCurrentSourceHandledByGmin) {
+  // A current source into a node with no DC path: the gmin diagonal keeps
+  // the system solvable (the node floats high, bounded by I/gmin).
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<ISource>("I1", kGround, n, SourceSpec::dc(1e-12));
+  DCAnalysis dc(ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GT(sol->node_voltage(n), 0.0);
+}
+
+TEST(NewtonRobustness, DeepDiodeStackConverges) {
+  // Six series diodes from 5 V: strongly nonlinear; requires limiting.
+  Circuit ckt;
+  NodeId prev = ckt.node("in");
+  ckt.add<VSource>("V1", prev, kGround, SourceSpec::dc(5.0));
+  ckt.add<Resistor>("R1", prev, ckt.node("d0"), 100.0);
+  prev = ckt.node("d0");
+  for (int i = 0; i < 6; ++i) {
+    const NodeId next =
+        (i == 5) ? kGround : ckt.node("d" + std::to_string(i + 1));
+    ckt.add<Diode>("D" + std::to_string(i), prev, next);
+    prev = next;
+  }
+  DCAnalysis dc(ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  // Each junction drops 0.55-0.75 V.
+  const double v0 = sol->node_voltage(ckt.find_node("d0"));
+  EXPECT_GT(v0, 6 * 0.5);
+  EXPECT_LT(v0, 6 * 0.8);
+}
+
+// ---- transient control ----
+
+TEST(TranRobustness, BreakpointsAreHitExactly) {
+  // A 10 ps edge inside a long quiet run must not be stepped over.
+  Circuit ckt;
+  const auto n_in = ckt.node("in");
+  const auto n_out = ckt.node("out");
+  ckt.add<VSource>("V1", n_in, kGround,
+                   SourceSpec::pwl({{500e-9, 0.0}, {500.01e-9, 1.0}}));
+  ckt.add<Resistor>("R1", n_in, n_out, 100.0);
+  ckt.add<Capacitor>("C1", n_out, kGround, 1e-15);
+  TranOptions opt;
+  opt.t_stop = 1e-6;
+  opt.dt_max = 50e-9;  // much coarser than the edge
+  TranAnalysis tran(ckt, opt, {Probe::node_voltage(n_out, "out")});
+  const auto wave = tran.run();
+  EXPECT_LT(wave.value_at("out", 499.9e-9), 0.01);
+  EXPECT_GT(wave.value_at("out", 502e-9), 0.95);
+}
+
+TEST(TranRobustness, QuietCircuitTakesLargeSteps) {
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<VSource>("V1", n, kGround, SourceSpec::dc(1.0));
+  ckt.add<Resistor>("R1", n, kGround, 1e3);
+  ckt.add<Capacitor>("C1", n, kGround, 1e-12);
+  TranOptions opt;
+  opt.t_stop = 1e-3;  // a full millisecond
+  TranAnalysis tran(ckt, opt, {});
+  (void)tran.run();
+  // dt_max defaults to t_stop/50: expect on the order of 50-200 steps, not
+  // millions.
+  EXPECT_LT(tran.stats().accepted_steps, 500u);
+}
+
+TEST(TranRobustness, MtjEventShrinksStepAndIsCounted) {
+  const auto pp = PaperParams::table1();
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add<MTJElement>("mtj", a, kGround, pp.mtj, models::MtjState::kParallel);
+  PulseSpec pulse;
+  pulse.v_pulsed = 1.6 * pp.mtj.critical_current();
+  pulse.delay = 1e-9;
+  pulse.rise = 0.1e-9;
+  pulse.fall = 0.1e-9;
+  pulse.width = 20e-9;
+  ckt.add<ISource>("I1", a, kGround, SourceSpec::pulse(pulse));
+  TranOptions opt;
+  opt.t_stop = 25e-9;
+  TranAnalysis tran(ckt, opt, {});
+  (void)tran.run();
+  EXPECT_EQ(tran.stats().device_events, 1u);
+}
+
+TEST(TranRobustness, EnergyAccountingAcrossManySources) {
+  // Two sources in a loop: delivered energies must sum to the dissipation
+  // in the resistor (conservation check with multiple sources).
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  ckt.add<VSource>("V1", a, kGround, SourceSpec::dc(2.0));
+  ckt.add<VSource>("V2", b, kGround, SourceSpec::dc(1.0));
+  ckt.add<Resistor>("R1", a, b, 1e3);
+  TranOptions opt;
+  opt.t_stop = 1e-6;
+  TranAnalysis tran(ckt, opt, {});
+  (void)tran.run();
+  // i = 1 mA; V1 delivers 2 mW, V2 absorbs 1 mW; over 1 us: 2 / -1 / 1 nJ.
+  EXPECT_NEAR(tran.source_energy("V1"), 2e-9, 2e-11);
+  EXPECT_NEAR(tran.source_energy("V2"), -1e-9, 1e-11);
+  const double net = tran.source_energy("V1") + tran.source_energy("V2");
+  EXPECT_NEAR(net, 1e-9, 1e-11);
+}
+
+TEST(TranRobustness, TrapAndBeAgreeOnSmoothCircuit) {
+  for (auto method : {IntegrationMethod::kTrapezoidal,
+                      IntegrationMethod::kBackwardEuler}) {
+    Circuit ckt;
+    const auto n_in = ckt.node("in");
+    const auto n_out = ckt.node("out");
+    ckt.add<VSource>("V1", n_in, kGround,
+                     SourceSpec::pwl({{1e-9, 0.0}, {3e-9, 1.0}}));  // slow ramp
+    ckt.add<Resistor>("R1", n_in, n_out, 1e3);
+    ckt.add<Capacitor>("C1", n_out, kGround, 0.2e-12);
+    TranOptions opt;
+    opt.t_stop = 6e-9;
+    opt.method = method;
+    TranAnalysis tran(ckt, opt, {Probe::node_voltage(n_out, "out")});
+    const auto wave = tran.run();
+    EXPECT_NEAR(wave.value_at("out", 5.9e-9), 1.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace nvsram::spice

@@ -1,0 +1,162 @@
+// 6T-SRAM cell behaviour: write/read/hold transients, retention at the
+// sleep voltage, static noise margins.
+#include <gtest/gtest.h>
+
+#include "models/paper_params.h"
+#include "sram/snm.h"
+#include "sram/testbench.h"
+
+namespace nvsram {
+namespace {
+
+using models::PaperParams;
+using sram::CellKind;
+using sram::CellTestbench;
+
+TEST(Sram6T, WriteOneThenZero) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_idle(1e-9);
+  tb.op_write(false);
+  tb.op_idle(1e-9);
+  auto res = tb.run();
+
+  const auto& w1 = res.phase("write1");
+  EXPECT_GT(res.wave.value_at("V(Q)", w1.t1 + 0.8e-9), 0.85);
+  EXPECT_LT(res.wave.value_at("V(QB)", w1.t1 + 0.8e-9), 0.05);
+
+  const double t_end = tb.now() - 0.2e-9;
+  EXPECT_LT(res.wave.value_at("V(Q)", t_end), 0.05);
+  EXPECT_GT(res.wave.value_at("V(QB)", t_end), 0.85);
+}
+
+TEST(Sram6T, ReadIsNonDestructive) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_idle(1e-9);
+  tb.op_read();
+  tb.op_read();
+  tb.op_idle(1e-9);
+  auto res = tb.run();
+  const double t_end = tb.now() - 0.2e-9;
+  EXPECT_GT(res.wave.value_at("V(Q)", t_end), 0.85);
+  EXPECT_LT(res.wave.value_at("V(QB)", t_end), 0.05);
+}
+
+TEST(Sram6T, ReadDischargesOneBitline) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);  // Q = 1 -> QB = 0 -> BLB discharges on read
+  tb.op_idle(1e-9);
+  tb.op_read();
+  auto res = tb.run();
+  const auto& rd = res.phase("read");
+  const double mid = 0.5 * (rd.t0 + rd.t1);
+  EXPECT_LT(res.wave.value_at("V(BLB)", mid + 0.8e-9), 0.6);
+  EXPECT_GT(res.wave.value_at("V(BL)", mid + 0.8e-9), 0.8);
+}
+
+TEST(Sram6T, SleepRetainsData) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_idle(1e-9);
+  tb.op_sleep(200e-9);
+  tb.op_idle(2e-9);
+  auto res = tb.run();
+  const auto& slp = res.phase("sleep");
+  // During sleep the rail is at 0.7 V and the data survives.
+  EXPECT_NEAR(res.wave.value_at("V(VVDD)", 0.5 * (slp.t0 + slp.t1)), 0.7, 0.05);
+  EXPECT_GT(res.wave.value_at("V(Q)", tb.now() - 0.5e-9), 0.85);
+}
+
+TEST(Sram6T, WriteEnergyIsFemtojouleScale) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_write(false);
+  tb.op_write(true);
+  auto res = tb.run();
+  const double e = res.energy(res.phase("write1", 1));
+  EXPECT_GT(e, 1e-17);
+  EXPECT_LT(e, 1e-12);
+}
+
+TEST(Sram6T, StaticPowerOrdering) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1(),
+                   sram::TestbenchOptions{.ideal_bitlines = true});
+  const double p_normal = tb.static_power(CellTestbench::StaticMode::kNormal);
+  const double p_sleep = tb.static_power(CellTestbench::StaticMode::kSleep);
+  const double p_shutdown =
+      tb.static_power(CellTestbench::StaticMode::kShutdown);
+  EXPECT_GT(p_normal, p_sleep);       // lower rail leaks less
+  EXPECT_GT(p_sleep, p_shutdown);     // gating beats retention
+  EXPECT_GT(p_normal, 1e-10);         // leaky HP process: > 0.1 nW
+  EXPECT_LT(p_normal, 1e-7);
+  EXPECT_LT(p_shutdown, 0.2 * p_sleep);
+}
+
+TEST(Sram6T, StoreOperationRejected) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  EXPECT_THROW(tb.op_store(), std::logic_error);
+}
+
+TEST(Sram6T, RunWithoutScheduleRejected) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  EXPECT_THROW(tb.run(), std::logic_error);
+}
+
+// ---- SNM -----------------------------------------------------------------------
+
+TEST(SramSnm, HoldSnmIsHealthy) {
+  const auto r = sram::hold_snm(PaperParams::table1(), CellKind::k6T);
+  EXPECT_GT(r.snm, 0.15);  // a balanced inverter pair at 0.9 V
+  EXPECT_LT(r.snm, 0.45);
+}
+
+TEST(SramSnm, ReadSnmSmallerThanHold) {
+  const auto pp = PaperParams::table1();
+  const auto hold = sram::hold_snm(pp, CellKind::k6T);
+  const auto read = sram::read_snm(pp, CellKind::k6T);
+  EXPECT_LT(read.snm, hold.snm);
+  EXPECT_GT(read.snm, 0.0);
+}
+
+TEST(SramSnm, HoldSnmShrinksWithVdd) {
+  const auto pp = PaperParams::table1();
+  const auto at_09 = sram::hold_snm(pp, CellKind::k6T, 0.9);
+  const auto at_07 = sram::hold_snm(pp, CellKind::k6T, 0.7);
+  EXPECT_LT(at_07.snm, at_09.snm);
+  EXPECT_GT(at_07.snm, 0.10);  // still retains at the sleep voltage
+}
+
+TEST(SramSnm, NvCellHoldSnmComparableTo6T) {
+  // The PS-FinFETs are off in normal mode: the MTJ load barely degrades SNM
+  // (the paper's central claim about electrical separation).
+  const auto pp = PaperParams::table1();
+  const auto snm_6t = sram::hold_snm(pp, CellKind::k6T);
+  const auto snm_nv = sram::hold_snm(pp, CellKind::kNvSram);
+  EXPECT_GT(snm_nv.snm, 0.90 * snm_6t.snm);
+}
+
+TEST(SramSnm, ConnectedPsBranchDegradesSnm) {
+  // With SR asserted (store mode) the MTJ loads the storage nodes and the
+  // margin drops — the reason NVPG separates the modes.
+  const auto pp = PaperParams::table1();
+  sram::SnmOptions normal;
+  sram::SnmOptions connected;
+  connected.ps_branch_connected = true;
+  const auto snm_normal =
+      sram::compute_snm(sram::inverter_vtc(pp, CellKind::kNvSram, normal));
+  const auto snm_conn =
+      sram::compute_snm(sram::inverter_vtc(pp, CellKind::kNvSram, connected));
+  EXPECT_LT(snm_conn.snm, snm_normal.snm);
+}
+
+TEST(SramSnm, VtcIsMonotoneDecreasing) {
+  const auto vtc =
+      sram::inverter_vtc(PaperParams::table1(), CellKind::k6T, sram::SnmOptions{});
+  for (std::size_t i = 1; i < vtc.size(); ++i) {
+    EXPECT_LE(vtc[i].second, vtc[i - 1].second + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace nvsram

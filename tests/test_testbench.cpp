@@ -1,0 +1,163 @@
+// CellTestbench mechanics: scheduling, phases, bias sets, energy windows.
+#include <gtest/gtest.h>
+
+#include "models/paper_params.h"
+#include "sram/testbench.h"
+
+namespace nvsram {
+namespace {
+
+using models::PaperParams;
+using sram::CellKind;
+using sram::CellTestbench;
+using sram::TestbenchOptions;
+
+TEST(Testbench, ScheduleAdvancesClock) {
+  CellTestbench tb(CellKind::kNvSram, PaperParams::table1());
+  EXPECT_DOUBLE_EQ(tb.now(), 0.0);
+  tb.op_write(true);
+  EXPECT_NEAR(tb.now(), PaperParams::table1().clock_period(), 1e-15);
+  tb.op_idle(5e-9);
+  EXPECT_NEAR(tb.now(), PaperParams::table1().clock_period() + 5e-9, 1e-15);
+}
+
+TEST(Testbench, PhasesAreOrderedAndNamed) {
+  CellTestbench tb(CellKind::kNvSram, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_read();
+  tb.op_store();
+  const auto& phases = tb.scheduled_phases();
+  ASSERT_EQ(phases.size(), 4u);  // write1, read, store_h, store_l
+  EXPECT_EQ(phases[0].name, "write1");
+  EXPECT_EQ(phases[1].name, "read");
+  EXPECT_EQ(phases[2].name, "store_h");
+  EXPECT_EQ(phases[3].name, "store_l");
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_GE(phases[i].t0, phases[i - 1].t1 - 1e-12);
+  }
+}
+
+TEST(Testbench, PhaseLookupByOccurrence) {
+  CellTestbench tb(CellKind::kNvSram, PaperParams::table1());
+  tb.op_read();
+  tb.op_read();
+  EXPECT_LT(tb.phase("read", 0).t0, tb.phase("read", 1).t0);
+  EXPECT_THROW(tb.phase("read", 2), std::out_of_range);
+  EXPECT_THROW(tb.phase("nothing"), std::out_of_range);
+}
+
+TEST(Testbench, StorePhaseDurationsMatchConfig) {
+  auto pp = PaperParams::table1();
+  pp.store_pulse = 8e-9;
+  TestbenchOptions opts;
+  opts.store_margin = 1e-9;
+  CellTestbench tb(CellKind::kNvSram, pp, opts);
+  tb.op_write(true);
+  tb.op_store();
+  EXPECT_NEAR(tb.phase("store_h").duration(), 9e-9, 1e-12);
+  EXPECT_NEAR(tb.phase("store_l").duration(), 9e-9, 1e-12);
+}
+
+TEST(Testbench, BiasSetsReflectTable1) {
+  CellTestbench tb(CellKind::kNvSram, PaperParams::table1());
+  const auto normal = tb.bias_normal();
+  EXPECT_DOUBLE_EQ(normal.vdd, 0.9);
+  EXPECT_DOUBLE_EQ(normal.ctrl, 0.07);
+  EXPECT_DOUBLE_EQ(normal.sr, 0.0);
+  const auto sleep = tb.bias_sleep();
+  EXPECT_DOUBLE_EQ(sleep.vdd, 0.7);
+  EXPECT_DOUBLE_EQ(sleep.ctrl, 0.04);
+  const auto sh = tb.bias_shutdown();
+  EXPECT_DOUBLE_EQ(sh.pg, 1.0);
+  EXPECT_DOUBLE_EQ(sh.bl, 0.0);
+  const auto h = tb.bias_store_h();
+  EXPECT_DOUBLE_EQ(h.sr, 0.65);
+  EXPECT_DOUBLE_EQ(h.ctrl, 0.0);
+  const auto l = tb.bias_store_l();
+  EXPECT_DOUBLE_EQ(l.ctrl, 0.5);
+}
+
+TEST(Testbench, SixTHasNoSrCtrlBias) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  EXPECT_DOUBLE_EQ(tb.bias_normal().ctrl, 0.0);
+  EXPECT_EQ(tb.mtj_q(), nullptr);
+}
+
+TEST(Testbench, EnergyWindowsPartitionTotal) {
+  // Sum of per-phase energies == energy over the full run window.
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_read();
+  tb.op_write(false);
+  auto res = tb.run();
+  double sum = 0.0;
+  for (const auto& ph : res.phases) sum += res.energy(ph);
+  const double total = res.energy(0.0, res.phases.back().t1);
+  EXPECT_NEAR(sum, total, std::abs(total) * 1e-9);
+}
+
+TEST(Testbench, EnergyIsPositiveForActiveOps) {
+  CellTestbench tb(CellKind::kNvSram, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_read();
+  auto res = tb.run();
+  EXPECT_GT(res.energy(res.phase("write1")), 0.0);
+  EXPECT_GT(res.energy(res.phase("read")), 0.0);
+}
+
+TEST(Testbench, AveragePowerConsistentWithEnergy) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_idle(10e-9);
+  auto res = tb.run();
+  const auto& ph = res.phase("idle");
+  EXPECT_NEAR(res.average_power(ph.t0, ph.t1) * ph.duration(),
+              res.energy(ph), 1e-20);
+}
+
+TEST(Testbench, IdleStaticPowerMatchesDcMeasurement) {
+  // The transient's quiescent power must agree with the DC static power.
+  TestbenchOptions dc_opts;
+  dc_opts.ideal_bitlines = true;
+  CellTestbench tb_dc(CellKind::k6T, PaperParams::table1(), dc_opts);
+  const double p_dc = tb_dc.static_power(CellTestbench::StaticMode::kNormal);
+
+  CellTestbench tb(CellKind::k6T, PaperParams::table1(), dc_opts);
+  tb.op_write(true);
+  tb.op_idle(200e-9);
+  auto res = tb.run();
+  const auto& idle = res.phase("idle");
+  // Skip the first 50 ns (write settling) and average the rest.
+  const double p_tran = res.average_power(idle.t0 + 50e-9, idle.t1);
+  EXPECT_NEAR(p_tran, p_dc, 0.25 * p_dc);
+}
+
+TEST(Testbench, BackwardEulerOptionRuns) {
+  TestbenchOptions opts;
+  opts.method = spice::IntegrationMethod::kBackwardEuler;
+  CellTestbench tb(CellKind::k6T, PaperParams::table1(), opts);
+  tb.op_write(true);
+  tb.op_idle(1e-9);
+  auto res = tb.run();
+  EXPECT_GT(res.wave.value_at("V(Q)", tb.now() - 0.2e-9), 0.8);
+}
+
+TEST(Testbench, RunTwiceIsRepeatable) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  tb.op_idle(1e-9);
+  auto r1 = tb.run();
+  auto r2 = tb.run();
+  EXPECT_NEAR(r1.energy(r1.phase("write1")), r2.energy(r2.phase("write1")),
+              1e-18);
+}
+
+TEST(Testbench, StatsExposeSolverWork) {
+  CellTestbench tb(CellKind::k6T, PaperParams::table1());
+  tb.op_write(true);
+  auto res = tb.run();
+  EXPECT_GT(res.stats.accepted_steps, 50u);
+  EXPECT_GT(res.stats.total_newton_iterations, res.stats.accepted_steps);
+}
+
+}  // namespace
+}  // namespace nvsram

@@ -1,0 +1,178 @@
+// Workload generators and gating-policy evaluation: optimality of the
+// oracle, the timeout policy's competitiveness, and generator statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload.h"
+#include "util/stats.h"
+
+namespace nvsram::core {
+namespace {
+
+// Synthetic but realistic cell numbers (same as test_energy_model.cpp).
+sram::CellEnergetics fake_6t() {
+  sram::CellEnergetics c;
+  c.t_clk = 1.0 / 300e6;
+  c.e_read = 3.8e-15;
+  c.e_write = 4.9e-15;
+  c.p_static_normal = 23.2e-9;
+  c.p_static_sleep = 9.5e-9;
+  c.p_static_shutdown = 30e-12;
+  c.e_sleep_transition = 1e-15;
+  return c;
+}
+
+sram::CellEnergetics fake_nv() {
+  sram::CellEnergetics c = fake_6t();
+  c.p_static_normal = 23.9e-9;
+  c.p_static_sleep = 10.2e-9;
+  c.e_store = 400e-15;
+  c.t_store = 24e-9;
+  c.e_restore = 33e-15;
+  c.t_restore = 2.1e-9;
+  return c;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : model_(fake_6t(), fake_nv()), eval_(model_, params()) {}
+  static BenchmarkParams params() {
+    BenchmarkParams p;
+    p.n_rw = 100;
+    p.rows = 32;
+    return p;
+  }
+  EnergyModel model_;
+  PolicyEvaluator eval_;
+};
+
+// ---- generators ----
+
+TEST(IdleWorkloadTest, ExponentialHasRequestedMean) {
+  const auto w = IdleWorkload::exponential(1e-4, 4000, 7);
+  EXPECT_EQ(w.episodes(), 4000u);
+  EXPECT_NEAR(w.total_idle() / w.episodes(), 1e-4, 1e-5);
+  for (double t : w.idle_intervals) EXPECT_GE(t, 0.0);
+}
+
+TEST(IdleWorkloadTest, ParetoIsHeavyTailed) {
+  const auto w = IdleWorkload::pareto(1e-5, 1.5, 4000, 3);
+  double max_idle = 0.0;
+  for (double t : w.idle_intervals) {
+    EXPECT_GE(t, 1e-5);
+    max_idle = std::max(max_idle, t);
+  }
+  EXPECT_GT(max_idle, 50e-5);  // tail events far above the scale
+}
+
+TEST(IdleWorkloadTest, PeriodicAndBimodal) {
+  const auto p = IdleWorkload::periodic(2e-6, 5);
+  EXPECT_DOUBLE_EQ(p.total_idle(), 1e-5);
+  const auto b = IdleWorkload::bimodal(1e-6, 1e-3, 0.25, 2000, 9);
+  int longs = 0;
+  for (double t : b.idle_intervals) longs += (t > 1e-4);
+  EXPECT_NEAR(longs / 2000.0, 0.25, 0.05);
+}
+
+TEST(IdleWorkloadTest, GeneratorsValidateInput) {
+  EXPECT_THROW(IdleWorkload::exponential(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(IdleWorkload::pareto(1e-6, 0.5, 10), std::invalid_argument);
+  EXPECT_THROW(IdleWorkload::periodic(1e-6, 0), std::invalid_argument);
+  EXPECT_THROW(IdleWorkload::bimodal(1e-6, 1e-3, 1.5, 10),
+               std::invalid_argument);
+}
+
+TEST(IdleWorkloadTest, SeedReproducibility) {
+  const auto a = IdleWorkload::exponential(1e-4, 100, 42);
+  const auto b = IdleWorkload::exponential(1e-4, 100, 42);
+  EXPECT_EQ(a.idle_intervals, b.idle_intervals);
+}
+
+// ---- policy evaluation ----
+
+TEST_F(WorkloadTest, BetIsPositiveAndFinite) {
+  EXPECT_GT(eval_.bet(), 1e-6);
+  EXPECT_LT(eval_.bet(), 1e-3);
+}
+
+TEST_F(WorkloadTest, OracleNeverWorseThanPurePolicies) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    const auto w = IdleWorkload::exponential(eval_.bet(), 500, seed);
+    const double never =
+        eval_.evaluate(w, GatingPolicy::kNeverGate).energy;
+    const double always =
+        eval_.evaluate(w, GatingPolicy::kAlwaysGate).energy;
+    const double oracle = eval_.evaluate(w, GatingPolicy::kOracle).energy;
+    EXPECT_LE(oracle, never * (1 + 1e-12)) << "seed " << seed;
+    EXPECT_LE(oracle, always * (1 + 1e-12)) << "seed " << seed;
+  }
+}
+
+TEST_F(WorkloadTest, ShortIdlesFavourSleep) {
+  const auto w = IdleWorkload::periodic(0.1 * eval_.bet(), 100);
+  const auto never = eval_.evaluate(w, GatingPolicy::kNeverGate);
+  const auto always = eval_.evaluate(w, GatingPolicy::kAlwaysGate);
+  EXPECT_LT(never.energy, always.energy);
+  const auto oracle = eval_.evaluate(w, GatingPolicy::kOracle);
+  EXPECT_EQ(oracle.shutdowns, 0);
+  EXPECT_NEAR(oracle.energy, never.energy, never.energy * 1e-12);
+}
+
+TEST_F(WorkloadTest, LongIdlesFavourGating) {
+  const auto w = IdleWorkload::periodic(100.0 * eval_.bet(), 100);
+  const auto never = eval_.evaluate(w, GatingPolicy::kNeverGate);
+  const auto always = eval_.evaluate(w, GatingPolicy::kAlwaysGate);
+  EXPECT_GT(never.energy, 5.0 * always.energy);
+  const auto oracle = eval_.evaluate(w, GatingPolicy::kOracle);
+  EXPECT_EQ(oracle.sleeps, 0);
+  EXPECT_EQ(oracle.shutdowns, 100);
+}
+
+TEST_F(WorkloadTest, TimeoutPolicyIsTwoCompetitive) {
+  // The classic result: timeout = BET is within 2x of the oracle on ANY
+  // workload (idle-energy terms only; burst energy is common).
+  for (unsigned seed : {11u, 12u}) {
+    const auto w = IdleWorkload::pareto(0.1 * eval_.bet(), 1.3, 800, seed);
+    const auto oracle = eval_.evaluate(w, GatingPolicy::kOracle);
+    const auto timeout =
+        eval_.evaluate(w, GatingPolicy::kTimeout, eval_.bet());
+    EXPECT_LE(timeout.energy, 2.0 * oracle.energy + 1e-15) << "seed " << seed;
+    EXPECT_GE(timeout.energy, oracle.energy * (1 - 1e-12));
+  }
+}
+
+TEST_F(WorkloadTest, CompareReturnsAllPolicies) {
+  const auto w = IdleWorkload::exponential(eval_.bet(), 50, 5);
+  const auto all = eval_.compare(w);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].first, GatingPolicy::kNeverGate);
+  EXPECT_EQ(all[3].first, GatingPolicy::kTimeout);
+  for (const auto& [p, r] : all) {
+    EXPECT_GT(r.energy, 0.0) << to_string(p);
+    EXPECT_GT(r.duration, 0.0);
+    EXPECT_GT(r.average_power(), 0.0);
+  }
+}
+
+TEST_F(WorkloadTest, BurstScalingIsLinear) {
+  auto w = IdleWorkload::periodic(1e-6, 10);
+  w.n_rw_per_burst = 100;
+  const auto base = eval_.evaluate(w, GatingPolicy::kNeverGate);
+  w.n_rw_per_burst = 200;
+  const auto doubled = eval_.evaluate(w, GatingPolicy::kNeverGate);
+  // Idle energy identical; burst part exactly doubles.
+  const double idle_energy =
+      10 * (fake_nv().e_sleep_transition + fake_nv().p_static_sleep * 1e-6);
+  EXPECT_NEAR(doubled.energy - idle_energy,
+              2.0 * (base.energy - idle_energy), 1e-18);
+}
+
+TEST_F(WorkloadTest, NegativeTimeoutRejected) {
+  const auto w = IdleWorkload::periodic(1e-6, 1);
+  EXPECT_THROW(eval_.evaluate(w, GatingPolicy::kTimeout, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvsram::core
