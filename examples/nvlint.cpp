@@ -1,0 +1,142 @@
+// nvlint: static netlist linter — rejects bad circuits before simulation.
+//
+// Usage:
+//   nvlint [options] <netlist.cir>...
+//   nvlint --rules
+//
+// Options:
+//   --rules          print the rule catalog (id, default severity, summary)
+//   --disable=<id>   disable a rule (repeatable)
+//   --werror         exit nonzero on warnings as well as errors
+//   -q, --quiet      print only the per-file summary lines
+//
+// Exit status: 0 clean, 1 lint errors (or warnings with --werror),
+// 2 parse failure or unreadable file.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "spice/netlist_parser.h"
+
+namespace {
+
+void print_rules() {
+  std::cout << "nvlint rules:\n";
+  for (const auto& rule : nvsram::lint::rule_catalog()) {
+    std::cout << "  " << rule.id << " (" << to_string(rule.severity)
+              << "): " << rule.summary << "\n";
+  }
+}
+
+struct FileResult {
+  bool parse_failed = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+FileResult lint_file(const std::string& path,
+                     const nvsram::lint::LintOptions& options, bool quiet) {
+  using namespace nvsram;
+  FileResult result;
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open file\n";
+    result.parse_failed = true;
+    return result;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  spice::NetlistParser parser;
+  std::unique_ptr<spice::ParsedNetlist> net;
+  try {
+    net = parser.parse(ss.str());
+  } catch (const spice::NetlistError& e) {
+    std::cerr << path << ":" << e.line() << ": parse-error: " << e.what()
+              << "\n";
+    result.parse_failed = true;
+    return result;
+  }
+
+  const lint::LintReport report = net->lint(options);
+  result.errors = report.count(lint::Severity::kError);
+  result.warnings = report.count(lint::Severity::kWarning);
+  if (!quiet) {
+    for (const auto& d : report.diagnostics()) {
+      std::cout << path << ":" << (d.line >= 0 ? std::to_string(d.line) : "-")
+                << ": " << to_string(d.severity) << "[" << d.rule
+                << "]: " << d.message << "\n";
+    }
+  }
+  std::cout << path << ": " << result.errors << " error(s), "
+            << result.warnings << " warning(s), "
+            << report.count(lint::Severity::kInfo) << " info(s)\n";
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nvsram::lint::LintOptions options;
+  std::vector<std::string> files;
+  bool quiet = false;
+  bool werror = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      print_rules();
+      return 0;
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      const std::string id = arg.substr(10);
+      const auto& catalog = nvsram::lint::rule_catalog();
+      const bool known =
+          std::any_of(catalog.begin(), catalog.end(),
+                      [&](const auto& rule) { return id == rule.id; });
+      if (!known) {
+        std::cerr << "nvlint: unknown rule id '" << id
+                  << "' in --disable (see --rules)\n";
+        return 2;
+      }
+      options.disable(id);
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: nvlint [--rules] [--disable=<id>] [--werror] "
+                   "[-q] <netlist.cir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nvlint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: nvlint [--rules] [--disable=<id>] [--werror] [-q] "
+                 "<netlist.cir>...\n";
+    return 2;
+  }
+
+  bool any_parse_failed = false;
+  std::size_t total_errors = 0;
+  std::size_t total_warnings = 0;
+  for (const auto& path : files) {
+    const FileResult r = lint_file(path, options, quiet);
+    any_parse_failed = any_parse_failed || r.parse_failed;
+    total_errors += r.errors;
+    total_warnings += r.warnings;
+  }
+
+  if (any_parse_failed) return 2;
+  if (total_errors > 0) return 1;
+  if (werror && total_warnings > 0) return 1;
+  return 0;
+}

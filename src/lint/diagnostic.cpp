@@ -1,0 +1,28 @@
+#include "lint/diagnostic.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace nvsram::lint {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream ss;
+  ss << to_string(severity) << '[' << rule << "]: " << message;
+  if (line >= 0) ss << " (line " << line << ')';
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << d.format();
+}
+
+}  // namespace nvsram::lint

@@ -1,0 +1,32 @@
+// Structured lint diagnostics.
+//
+// A Diagnostic ties a rule id and severity to the offending device/node and,
+// when the circuit came from a netlist, to the source line.  Diagnostics are
+// value types with no dependency on the spice layer so that front ends (CLI,
+// parser, future format importers) can produce and consume them freely.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace nvsram::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  std::string rule;      // rule id, e.g. "no-dc-path"
+  Severity severity = Severity::kWarning;
+  std::string message;   // human-readable, self-contained description
+  std::string device;    // offending device name ("" when not device-bound)
+  std::string node;      // offending node name ("" when not node-bound)
+  int line = -1;         // 1-based netlist source line, -1 when unknown
+
+  // "error[no-dc-path]: node 'y' ... (line 7)"
+  std::string format() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+}  // namespace nvsram::lint

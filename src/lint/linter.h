@@ -1,0 +1,30 @@
+// Lint entry points.
+//
+// lint_circuit() runs the structural rules on a bare Circuit (programmatic
+// construction; no line numbers, no card context).  lint_netlist() runs the
+// full rule set on a ParsedNetlist: circuit rules plus card/probe resolution
+// and parser-recorded diagnostics, with source line attribution.
+//
+// ParsedNetlist::run_* call lint_netlist() by default and throw
+// lint::LintError when any error-severity diagnostic is present, so bad
+// inputs are rejected before the first Newton iteration instead of
+// surfacing as a late `singular` flag or silently wrong energies.
+#pragma once
+
+#include "lint/report.h"
+#include "lint/rules.h"
+
+namespace nvsram::spice {
+class Circuit;
+class ParsedNetlist;
+}  // namespace nvsram::spice
+
+namespace nvsram::lint {
+
+LintReport lint_circuit(const spice::Circuit& circuit,
+                        const LintOptions& options = {});
+
+LintReport lint_netlist(const spice::ParsedNetlist& netlist,
+                        const LintOptions& options = {});
+
+}  // namespace nvsram::lint

@@ -1,0 +1,43 @@
+#include "lint/report.h"
+
+#include <sstream>
+
+namespace nvsram::lint {
+
+std::size_t LintReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> LintReport::by_rule(const std::string& rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags_) {
+    if (d.rule == rule_id) out.push_back(d);
+  }
+  return out;
+}
+
+std::string LintReport::format() const {
+  if (diags_.empty()) return "";
+  std::ostringstream ss;
+  for (const auto& d : diags_) ss << d.format() << '\n';
+  ss << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
+     << " warning(s), " << count(Severity::kInfo) << " info(s)";
+  return ss.str();
+}
+
+namespace {
+std::string error_what(const LintReport& report) {
+  return "netlist failed lint with " +
+         std::to_string(report.count(Severity::kError)) + " error(s):\n" +
+         report.format();
+}
+}  // namespace
+
+LintError::LintError(LintReport report)
+    : std::runtime_error(error_what(report)), report_(std::move(report)) {}
+
+}  // namespace nvsram::lint

@@ -1,0 +1,47 @@
+// LintReport: the ordered diagnostic list a lint pass produces, plus the
+// exception type run_* throws when error-severity diagnostics are present.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace nvsram::lint {
+
+class LintReport {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+  // Diagnostics carrying a given rule id (for targeted tests).
+  std::vector<Diagnostic> by_rule(const std::string& rule_id) const;
+
+  // One line per diagnostic plus a trailing "N error(s), M warning(s)"
+  // summary; "" for an empty report.
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+// Thrown by ParsedNetlist::run_* when linting finds error-severity
+// diagnostics; carries the full report for programmatic inspection.
+class LintError : public std::runtime_error {
+ public:
+  explicit LintError(LintReport report);
+  const LintReport& report() const { return report_; }
+
+ private:
+  LintReport report_;
+};
+
+}  // namespace nvsram::lint

@@ -1,0 +1,43 @@
+#include "lint/rules.h"
+
+namespace nvsram::lint {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {rules::kFloatNode, Severity::kWarning,
+       "node is attached to exactly one device pin"},
+      {rules::kNoDcPath, Severity::kError,
+       "node has no DC conduction path to ground (MNA matrix is singular "
+       "without gmin)"},
+      {rules::kVsourceLoop, Severity::kError,
+       "loop of voltage-defined branches (parallel or cyclic V/E devices)"},
+      {rules::kVsourceShorted, Severity::kError,
+       "voltage-defined branch with both terminals on the same node"},
+      {rules::kSelfConnected, Severity::kWarning,
+       "device with all conducting terminals tied to one node (stamps cancel)"},
+      {rules::kNonphysicalValue, Severity::kError,
+       "non-physical device parameter (R/C/L <= 0, fins <= 0, MTJ tau0 <= 0)"},
+      {rules::kProbeUnresolved, Severity::kError,
+       ".probe target does not resolve to a node/device of this circuit"},
+      {rules::kCardUnresolved, Severity::kError,
+       ".dc/.ac card names a source that does not exist"},
+      {rules::kSubcktUnusedPort, Severity::kWarning,
+       ".subckt port is never referenced inside the definition body"},
+      {rules::kSramCrossCoupling, Severity::kWarning,
+       "MTJ-retention circuit lacks a cross-coupled inverter pair (6T core "
+       "mis-wired?)"},
+      {rules::kMtjOrientation, Severity::kWarning,
+       "MTJ pinned layer faces the FET store branch (store polarity inverted "
+       "vs the paper's Fig. 2 topology)"},
+  };
+  return kCatalog;
+}
+
+Severity default_severity(const std::string& rule_id) {
+  for (const auto& r : rule_catalog()) {
+    if (rule_id == r.id) return r.severity;
+  }
+  return Severity::kError;
+}
+
+}  // namespace nvsram::lint

@@ -1,0 +1,63 @@
+// Rule catalog and lint options.
+//
+// Every check the linter performs has a stable string id listed here, with
+// its default severity and a one-line summary (`nvlint --rules` and
+// docs/LINT.md render this table).  Tests that intentionally build degenerate
+// circuits opt out per rule through LintOptions::disable().
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace nvsram::lint {
+
+namespace rules {
+// Circuit topology.
+inline constexpr const char* kFloatNode = "float-node";
+inline constexpr const char* kNoDcPath = "no-dc-path";
+inline constexpr const char* kVsourceLoop = "vsource-loop";
+inline constexpr const char* kVsourceShorted = "vsource-shorted";
+inline constexpr const char* kSelfConnected = "self-connected";
+// Device parameters.
+inline constexpr const char* kNonphysicalValue = "nonphysical-value";
+// Netlist cards.
+inline constexpr const char* kProbeUnresolved = "probe-unresolved";
+inline constexpr const char* kCardUnresolved = "card-unresolved";
+inline constexpr const char* kSubcktUnusedPort = "subckt-unused-port";
+// Paper-specific topology.
+inline constexpr const char* kSramCrossCoupling = "sram-cross-coupling";
+inline constexpr const char* kMtjOrientation = "mtj-orientation";
+}  // namespace rules
+
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+// All known rules, in documentation order.
+const std::vector<RuleInfo>& rule_catalog();
+
+// Default severity for a rule id; kError for unknown ids (conservative).
+Severity default_severity(const std::string& rule_id);
+
+struct LintOptions {
+  // Rule ids to skip entirely.
+  std::unordered_set<std::string> disabled;
+
+  // Diagnostics below this severity are dropped from the report.
+  Severity min_severity = Severity::kInfo;
+
+  LintOptions& disable(const std::string& rule_id) {
+    disabled.insert(rule_id);
+    return *this;
+  }
+  bool enabled(const std::string& rule_id) const {
+    return disabled.find(rule_id) == disabled.end();
+  }
+};
+
+}  // namespace nvsram::lint

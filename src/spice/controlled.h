@@ -18,6 +18,16 @@ class VCVS : public Device {
   void stamp(StampContext& ctx) override;
   // Branch current, + -> - internally (same convention as VSource).
   double current(const SolutionView& s) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"+", p_}, {"-", n_}, {"c+", cp_}, {"c-", cn_}};
+  }
+  // The output branch conducts (and pins a voltage); control pins sense only.
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{p_, n_}};
+  }
+  std::optional<std::pair<NodeId, NodeId>> voltage_branch() const override {
+    return std::make_pair(p_, n_);
+  }
 
   double gain() const { return gain_; }
   void set_gain(double g) { gain_ = g; }
@@ -37,6 +47,10 @@ class VCCS : public Device {
 
   void stamp(StampContext& ctx) override;
   double current(const SolutionView& s) const override;
+  // Output is a current source (no DC conductance); control pins sense only.
+  std::vector<TerminalRef> terminals() const override {
+    return {{"+", p_}, {"-", n_}, {"c+", cp_}, {"c-", cn_}};
+  }
 
   double gm() const { return gm_; }
   void set_gm(double g) { gm_ = g; }

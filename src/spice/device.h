@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "linalg/dense.h"
@@ -15,6 +17,14 @@ namespace nvsram::spice {
 
 using NodeId = std::size_t;
 inline constexpr NodeId kGround = 0;
+
+// One external pin of a device: its documented role name plus the circuit
+// node it is attached to.  Exposed by Device::terminals() for topology
+// queries (the lint layer, graph analyses) without dynamic_cast ladders.
+struct TerminalRef {
+  const char* role;  // "a", "+", "drain", "free", ...
+  NodeId node;
+};
 
 enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
 
@@ -142,6 +152,23 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   const std::string& name() const { return name_; }
+
+  // ---- topology introspection (consumed by the lint layer) ----
+  // Every external pin with its role name.  Devices without terminals (none
+  // today) return an empty list and are invisible to topology checks.
+  virtual std::vector<TerminalRef> terminals() const { return {}; }
+
+  // Node pairs between which the device conducts at DC.  Capacitors and
+  // current sources return nothing — exactly the edges the no-DC-path lint
+  // must ignore, because they contribute no DC conductance to the MNA matrix.
+  virtual std::vector<std::pair<NodeId, NodeId>> dc_paths() const { return {}; }
+
+  // The (plus, minus) pair whose voltage difference this device pins, if any
+  // (independent V sources, VCVS outputs).  Loops of such branches make the
+  // MNA matrix structurally singular.
+  virtual std::optional<std::pair<NodeId, NodeId>> voltage_branch() const {
+    return std::nullopt;
+  }
 
   // Allocate branch unknowns (voltage sources etc.).
   virtual void reserve(MnaLayout&) {}

@@ -51,6 +51,12 @@ class Resistor : public Device {
   void stamp(StampContext& ctx) override;
   // Positive current flows a -> b.
   double current(const SolutionView& s) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"a", a_}, {"b", b_}};
+  }
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{a_, b_}};
+  }
 
   double resistance() const { return resistance_; }
   void set_resistance(double r);
@@ -69,6 +75,10 @@ class Capacitor : public Device {
   void begin_transient(const SolutionView& s) override;
   bool accept_step(const SolutionView& s, double time, double dt) override;
   double current(const SolutionView& s) const override;
+  // A capacitor is open at DC, so it contributes no dc_paths() edge.
+  std::vector<TerminalRef> terminals() const override {
+    return {{"a", a_}, {"b", b_}};
+  }
 
   double capacitance() const { return capacitance_; }
   double stored_energy(const SolutionView& s) const;
@@ -98,6 +108,13 @@ class Inductor : public Device {
   bool accept_step(const SolutionView& s, double time, double dt) override;
   // Branch current, positive a -> b.
   double current(const SolutionView& s) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"a", a_}, {"b", b_}};
+  }
+  // DC short: conducts.
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{a_, b_}};
+  }
 
   double inductance() const { return inductance_; }
   std::size_t branch_index() const { return branch_; }
@@ -122,6 +139,15 @@ class VSource : public Device {
   // has negative branch current.
   double current(const SolutionView& s) const override;
   void breakpoints(double t_stop, std::vector<double>& out) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"+", plus_}, {"-", minus_}};
+  }
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{plus_, minus_}};
+  }
+  std::optional<std::pair<NodeId, NodeId>> voltage_branch() const override {
+    return std::make_pair(plus_, minus_);
+  }
 
   // Instantaneous power delivered INTO the external circuit.
   double delivered_power(const SolutionView& s, double time) const;
@@ -144,6 +170,10 @@ class ISource : public Device {
   void stamp(StampContext& ctx) override;
   double current(const SolutionView&) const override { return last_value_; }
   void breakpoints(double t_stop, std::vector<double>& out) const override;
+  // An ideal current source has infinite DC impedance: no dc_paths() edge.
+  std::vector<TerminalRef> terminals() const override {
+    return {{"from", from_}, {"to", to_}};
+  }
   NodeId node_from() const { return from_; }
   NodeId node_to() const { return to_; }
 
@@ -161,6 +191,13 @@ class Diode : public Device {
 
   void stamp(StampContext& ctx) override;
   double current(const SolutionView& s) const override;
+  double saturation_current() const { return is_; }
+  std::vector<TerminalRef> terminals() const override {
+    return {{"anode", anode_}, {"cathode", cathode_}};
+  }
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{anode_, cathode_}};
+  }
 
  private:
   NodeId anode_, cathode_;

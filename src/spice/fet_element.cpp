@@ -42,8 +42,15 @@ FinFETElement* add_finfet(Circuit& ckt, const std::string& name, NodeId drain,
   auto* fet = ckt.add<FinFETElement>(name, drain, gate, source, params);
   ckt.add<Capacitor>(name + ".cgs", gate, source, params.cgs());
   ckt.add<Capacitor>(name + ".cgd", gate, drain, params.cgd());
-  ckt.add<Capacitor>(name + ".cjd", drain, kGround, params.cjunction());
-  ckt.add<Capacitor>(name + ".cjs", source, kGround, params.cjunction());
+  // A junction cap on a grounded terminal would sit between ground and
+  // ground: it stamps nothing, so skip it instead of creating a degenerate
+  // self-connected device.
+  if (drain != kGround) {
+    ckt.add<Capacitor>(name + ".cjd", drain, kGround, params.cjunction());
+  }
+  if (source != kGround) {
+    ckt.add<Capacitor>(name + ".cjs", source, kGround, params.cjunction());
+  }
   return fet;
 }
 

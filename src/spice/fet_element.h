@@ -20,6 +20,15 @@ class FinFETElement : public Device {
   // Drain current, positive flowing drain -> source (NMOS convention; PMOS
   // conducts with negative values).
   double current(const SolutionView& s) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"drain", drain_}, {"gate", gate_}, {"source", source_}};
+  }
+  // The channel conducts drain <-> source; the gate is insulated (it couples
+  // only through the Cgs/Cgd capacitors added by add_finfet), so a gate node
+  // needs its own DC path from elsewhere.
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{drain_, source_}};
+  }
 
   const models::FinFET& model() const { return model_; }
   NodeId drain() const { return drain_; }

@@ -19,6 +19,16 @@ class MTJElement : public Device {
   void stamp(StampContext& ctx) override;
   bool accept_step(const SolutionView& s, double time, double dt) override;
   double current(const SolutionView& s) const override;
+  std::vector<TerminalRef> terminals() const override {
+    return {{"pinned", pinned_}, {"free", free_}};
+  }
+  // The junction is resistive in both states: it conducts at DC.
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    return {{pinned_, free_}};
+  }
+
+  NodeId pinned_node() const { return pinned_; }
+  NodeId free_node() const { return free_; }
 
   models::MtjState state() const { return switching_.state(); }
   void force_state(models::MtjState s) { switching_.force_state(s); }

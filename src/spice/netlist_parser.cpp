@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
-#include <unordered_map>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "lint/linter.h"
 #include "models/finfet.h"
 #include "models/mtj.h"
 #include "spice/ac.h"
@@ -129,6 +131,7 @@ class ParserImpl {
       if (head == ".ends") {
         SubcktDef def = std::move(subckt_stack_.back());
         subckt_stack_.pop_back();
+        diagnose_unused_ports(def);
         subckts_[def.name] = std::move(def);
         return;
       }
@@ -144,24 +147,33 @@ class ParserImpl {
       return;
     }
     if (head == ".ends") fail(".ends without .subckt");
-    if (head[0] == '.') {
-      parse_dot_card(head, tokens);
-      return;
-    }
-    switch (head[0]) {
-      case 'r': parse_resistor(tokens); break;
-      case 'c': parse_capacitor(tokens); break;
-      case 'l': parse_inductor(tokens); break;
-      case 'v': parse_source<VSource>(tokens); break;
-      case 'i': parse_source<ISource>(tokens); break;
-      case 'd': parse_diode(tokens); break;
-      case 'm': parse_fet(tokens); break;
-      case 'y': parse_mtj(tokens); break;
-      case 'e': parse_vcvs(tokens); break;
-      case 'g': parse_vccs(tokens); break;
-      case 'x': parse_instance(tokens); break;
-      default:
-        throw NetlistError(line_no_, "unknown card '" + tokens[0] + "'");
+    // Convert stray exceptions (duplicate device names, element constructor
+    // validation such as R <= 0) into NetlistErrors so every parse failure
+    // carries its source line.
+    try {
+      if (head[0] == '.') {
+        parse_dot_card(head, tokens);
+        return;
+      }
+      switch (head[0]) {
+        case 'r': parse_resistor(tokens); break;
+        case 'c': parse_capacitor(tokens); break;
+        case 'l': parse_inductor(tokens); break;
+        case 'v': parse_source<VSource>(tokens); break;
+        case 'i': parse_source<ISource>(tokens); break;
+        case 'd': parse_diode(tokens); break;
+        case 'm': parse_fet(tokens); break;
+        case 'y': parse_mtj(tokens); break;
+        case 'e': parse_vcvs(tokens); break;
+        case 'g': parse_vccs(tokens); break;
+        case 'x': parse_instance(tokens); break;
+        default:
+          throw NetlistError(line_no_, "unknown card '" + tokens[0] + "'");
+      }
+    } catch (const NetlistError&) {
+      throw;  // already located (possibly on a subckt body line)
+    } catch (const std::exception& e) {
+      fail(e.what());
     }
   }
 
@@ -172,7 +184,30 @@ class ParserImpl {
     std::string name;
     std::vector<std::string> ports;
     std::vector<std::pair<std::string, int>> body;  // (line, line number)
+    int def_line = -1;                              // line of the .subckt card
   };
+
+  // A port never mentioned in the definition body is dead: the instance node
+  // wired to it stays unconnected inside the cell.  Recorded as a lint
+  // diagnostic (not a parse error) so intentionally partial cells still load.
+  void diagnose_unused_ports(const SubcktDef& def) {
+    std::unordered_set<std::string> used;
+    for (const auto& [body_line, body_no] : def.body) {
+      (void)body_no;
+      for (const auto& token : tokenize(body_line)) used.insert(token);
+    }
+    for (const auto& port : def.ports) {
+      if (used.count(port)) continue;
+      lint::Diagnostic d;
+      d.rule = lint::rules::kSubcktUnusedPort;
+      d.severity = lint::default_severity(d.rule);
+      d.message = ".subckt '" + def.name + "' port '" + port +
+                  "' is never used inside the definition body";
+      d.node = port;
+      d.line = def.def_line;
+      out_.add_parse_diagnostic(std::move(d));
+    }
+  }
 
   struct Scope {
     std::string prefix;                                  // "X1."
@@ -189,7 +224,18 @@ class ParserImpl {
   }
 
   NodeId node(const std::string& name) {
-    return out_.circuit().node(resolve_node(name));
+    const std::string resolved = resolve_node(name);
+    const bool is_new = !out_.circuit().has_node(resolved);
+    const NodeId id = out_.circuit().node(resolved);
+    if (is_new) out_.record_node_line(resolved, line_no_);
+    return id;
+  }
+
+  // Registers the card's global device name -> source line and marks the
+  // netlist as non-empty.  Call after the device was added successfully.
+  void record_device(const std::string& global_name) {
+    out_.record_device_line(global_name, line_no_);
+    saw_card_ = true;
   }
 
   // Scope prefixes are fully qualified at instantiation time, and port maps
@@ -216,21 +262,21 @@ class ParserImpl {
     need(t, 4, "resistor");
     out_.circuit().add<Resistor>(devname(t[0]), node(t[1]), node(t[2]),
                                  number(t[3]));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_capacitor(const std::vector<std::string>& t) {
     need(t, 4, "capacitor");
     out_.circuit().add<Capacitor>(devname(t[0]), node(t[1]), node(t[2]),
                                   number(t[3]));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_inductor(const std::vector<std::string>& t) {
     need(t, 4, "inductor");
     out_.circuit().add<Inductor>(devname(t[0]), node(t[1]), node(t[2]),
                                  number(t[3]));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   SourceSpec parse_spec(const std::vector<std::string>& t, std::size_t i) {
@@ -284,7 +330,7 @@ class ParserImpl {
     need(t, 4, "source");
     out_.circuit().add<SourceT>(devname(t[0]), node(t[1]), node(t[2]),
                                 parse_spec(t, 3));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_diode(const std::vector<std::string>& t) {
@@ -299,7 +345,7 @@ class ParserImpl {
       else fail("unknown diode option '" + kv->first + "'");
     }
     out_.circuit().add<Diode>(devname(t[0]), node(t[1]), node(t[2]), is, n);
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_fet(const std::vector<std::string>& t) {
@@ -328,7 +374,7 @@ class ParserImpl {
     }
     add_finfet(out_.circuit(), devname(t[0]), node(t[1]), node(t[2]),
                node(t[3]), params);
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_mtj(const std::vector<std::string>& t) {
@@ -355,26 +401,27 @@ class ParserImpl {
     }
     out_.circuit().add<MTJElement>(devname(t[0]), node(t[1]), node(t[2]),
                                    params, state);
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_vcvs(const std::vector<std::string>& t) {
     need(t, 6, "vcvs");
     out_.circuit().add<VCVS>(devname(t[0]), node(t[1]), node(t[2]), node(t[3]),
                              node(t[4]), number(t[5]));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void parse_vccs(const std::vector<std::string>& t) {
     need(t, 6, "vccs");
     out_.circuit().add<VCCS>(devname(t[0]), node(t[1]), node(t[2]), node(t[3]),
                              node(t[4]), number(t[5]));
-    saw_card_ = true;
+    record_device(devname(t[0]));
   }
 
   void begin_subckt(const std::vector<std::string>& t) {
     need(t, 3, ".subckt");
     SubcktDef def;
+    def.def_line = line_no_;
     def.name = lower(t[1]);
     for (std::size_t k = 2; k < t.size(); ++k) def.ports.push_back(t[k]);
     if (subckts_.count(def.name)) {
@@ -499,8 +546,43 @@ class ParserImpl {
 
 }  // namespace
 
+lint::LintReport ParsedNetlist::lint() const { return lint(lint_options_); }
+
+lint::LintReport ParsedNetlist::lint(const lint::LintOptions& options) const {
+  return lint::lint_netlist(*this, options);
+}
+
+void ParsedNetlist::ensure_lint_ok() {
+  if (!lint_on_run_) return;
+  lint::LintReport report = lint(lint_options_);
+  if (report.has_errors()) throw lint::LintError(std::move(report));
+}
+
+void ParsedNetlist::record_device_line(const std::string& name, int line) {
+  device_lines_.emplace(name, line);
+}
+
+void ParsedNetlist::record_node_line(const std::string& name, int line) {
+  node_lines_.emplace(name, line);
+}
+
+int ParsedNetlist::device_line(const std::string& name) const {
+  const auto it = device_lines_.find(name);
+  return it == device_lines_.end() ? -1 : it->second;
+}
+
+int ParsedNetlist::node_line(const std::string& name) const {
+  const auto it = node_lines_.find(name);
+  return it == node_lines_.end() ? -1 : it->second;
+}
+
+void ParsedNetlist::add_parse_diagnostic(lint::Diagnostic d) {
+  parse_diags_.push_back(std::move(d));
+}
+
 Waveform ParsedNetlist::run_dc_sweep() {
   if (!dc_) throw std::logic_error("netlist has no .dc card");
+  ensure_lint_ok();
   auto* src = dynamic_cast<VSource*>(circuit_.find_device(dc_->source));
   auto* isrc = dynamic_cast<ISource*>(circuit_.find_device(dc_->source));
   if (!src && !isrc) {
@@ -522,6 +604,7 @@ Waveform ParsedNetlist::run_dc_sweep() {
 
 Waveform ParsedNetlist::run_tran() {
   if (!tran_) throw std::logic_error("netlist has no .tran card");
+  ensure_lint_ok();
   TranOptions opt;
   opt.t_stop = tran_->t_stop;
   if (tran_->dt_max > 0.0) opt.dt_max = tran_->dt_max;
@@ -531,6 +614,7 @@ Waveform ParsedNetlist::run_tran() {
 
 Waveform ParsedNetlist::run_ac() {
   if (!ac_) throw std::logic_error("netlist has no .ac card");
+  ensure_lint_ok();
   Device* src = circuit_.find_device(ac_->source);
   if (!src) {
     throw std::logic_error(".ac source '" + ac_->source + "' not found");
@@ -550,6 +634,7 @@ Waveform ParsedNetlist::run_ac() {
 }
 
 std::optional<DCSolution> ParsedNetlist::run_op() {
+  ensure_lint_ok();
   DCAnalysis dc(circuit_);
   return dc.solve();
 }

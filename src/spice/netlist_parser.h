@@ -31,8 +31,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "lint/report.h"
+#include "lint/rules.h"
 #include "spice/circuit.h"
 #include "spice/dc.h"
 #include "spice/tran.h"
@@ -89,6 +92,34 @@ class ParsedNetlist {
   // Operating point with the default probes evaluated.
   std::optional<DCSolution> run_op();
 
+  // ---- static analysis ----
+  // Runs the full lint rule set (see lint/linter.h) on the parsed circuit,
+  // cards, and probes.  The overload without arguments uses lint_options().
+  lint::LintReport lint() const;
+  lint::LintReport lint(const lint::LintOptions& options) const;
+
+  // run_* lint by default and throw lint::LintError on error-severity
+  // diagnostics — before any Newton iteration runs.  Tests that build
+  // intentionally degenerate circuits can opt out here, or disable
+  // individual rules through lint_options().
+  void set_lint_on_run(bool enabled) { lint_on_run_ = enabled; }
+  bool lint_on_run() const { return lint_on_run_; }
+  lint::LintOptions& lint_options() { return lint_options_; }
+
+  // ---- source-location bookkeeping (filled by the parser) ----
+  void record_device_line(const std::string& name, int line);
+  void record_node_line(const std::string& name, int line);
+  // 1-based netlist line a device/node was introduced on; -1 if unknown.
+  int device_line(const std::string& name) const;
+  int node_line(const std::string& name) const;
+
+  // Diagnostics the parser itself produced (e.g. unused .subckt ports);
+  // merged into every lint() report.
+  void add_parse_diagnostic(lint::Diagnostic d);
+  const std::vector<lint::Diagnostic>& parse_diagnostics() const {
+    return parse_diags_;
+  }
+
   // Builder methods (used by the parser; also handy for programmatic
   // post-editing of a parsed netlist).
   void set_title(std::string t) { title_ = std::move(t); }
@@ -98,12 +129,20 @@ class ParsedNetlist {
   void add_probe(Probe p) { probes_.push_back(std::move(p)); }
 
  private:
+  // Throws lint::LintError if lint_on_run_ and linting reports errors.
+  void ensure_lint_ok();
+
   Circuit circuit_;
   std::string title_;
   std::vector<Probe> probes_;
   std::optional<DcSweepCard> dc_;
   std::optional<TranCard> tran_;
   std::optional<AcCard> ac_;
+  std::unordered_map<std::string, int> device_lines_;
+  std::unordered_map<std::string, int> node_lines_;
+  std::vector<lint::Diagnostic> parse_diags_;
+  lint::LintOptions lint_options_;
+  bool lint_on_run_ = true;
 };
 
 class NetlistParser {

@@ -1,0 +1,477 @@
+// Static-analysis (lint) layer: one targeted test per rule, regression that
+// every shipped netlist lints clean, and the run_* fail-fast gating.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/linter.h"
+#include "spice/elements.h"
+#include "spice/netlist_parser.h"
+
+namespace nvsram {
+namespace {
+
+using lint::LintOptions;
+using lint::LintReport;
+using lint::Severity;
+using spice::NetlistParser;
+
+std::unique_ptr<spice::ParsedNetlist> parse(const std::string& text) {
+  NetlistParser p;
+  return p.parse(text);
+}
+
+// ---- clean circuits produce empty reports -----------------------------------
+
+TEST(Lint, CleanDividerPassesAllRules) {
+  auto net = parse(
+      "divider\n"
+      "V1 in 0 DC 2\n"
+      "R1 in out 1k\n"
+      "R2 out 0 1k\n"
+      ".probe v(out)\n"
+      ".dc V1 0 2 5\n");
+  const LintReport report = net->lint();
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(Lint, RuleCatalogHasAtLeastEightUniqueRules) {
+  std::set<std::string> ids;
+  for (const auto& r : lint::rule_catalog()) ids.insert(r.id);
+  EXPECT_GE(ids.size(), 8u);
+  EXPECT_EQ(ids.size(), lint::rule_catalog().size()) << "duplicate rule ids";
+}
+
+// ---- float-node -------------------------------------------------------------
+
+TEST(Lint, FloatNodeFlagsDegreeOneNode) {
+  auto net = parse(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out dangl 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kFloatNode);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].node, "dangl");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].line, 3);  // dangl first appears on line 3
+}
+
+// ---- no-dc-path -------------------------------------------------------------
+
+TEST(Lint, NoDcPathFlagsCapacitorIsolatedNode) {
+  auto net = parse(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "C1 out float 1p\n"
+      "C2 float 0 1p\n");
+  const auto diags = net->lint().by_rule(lint::rules::kNoDcPath);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("float"), std::string::npos);
+}
+
+TEST(Lint, NoDcPathGroupsIslandIntoOneDiagnostic) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 x y 1k\n"
+      "R3 y z 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kNoDcPath);
+  ASSERT_EQ(diags.size(), 1u);  // x, y, z are one island
+  EXPECT_NE(diags[0].message.find("'x'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'z'"), std::string::npos);
+}
+
+// ---- vsource-loop / vsource-shorted ----------------------------------------
+
+TEST(Lint, ParallelVoltageSourcesFlaggedAsLoop) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "V2 a 0 DC 1\n"
+      "R1 a 0 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kVsourceLoop);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "V2");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(Lint, CyclicVoltageSourceLoopFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "V2 a b DC 0.5\n"
+      "V3 b 0 DC 0.5\n"
+      "R1 b 0 1k\n");
+  EXPECT_EQ(net->lint().by_rule(lint::rules::kVsourceLoop).size(), 1u);
+}
+
+TEST(Lint, VcvsOutputParticipatesInVoltageLoop) {
+  auto net = parse(
+      "V1 in 0 DC 1\n"
+      "E1 out 0 in 0 2\n"
+      "V2 out 0 DC 2\n"
+      "R1 out 0 1k\n");
+  EXPECT_EQ(net->lint().by_rule(lint::rules::kVsourceLoop).size(), 1u);
+}
+
+TEST(Lint, ShortedVoltageSourceFlagged) {
+  auto net = parse(
+      "V1 a a DC 1\n"
+      "R1 a 0 1k\n"
+      "V2 a 0 DC 1\n");
+  const auto diags = net->lint().by_rule(lint::rules::kVsourceShorted);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "V1");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+// ---- self-connected ---------------------------------------------------------
+
+TEST(Lint, SelfConnectedResistorFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a a 1k\n"
+      "R2 a 0 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kSelfConnected);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "R1");
+}
+
+TEST(Lint, FetWithDrainTiedToSourceFlagged) {
+  auto net = parse(
+      "Vd d 0 DC 0.9\n"
+      "Vg g 0 DC 0.9\n"
+      "M1 d g d nfin\n"
+      "R1 d 0 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kSelfConnected);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "M1");
+}
+
+// ---- nonphysical-value ------------------------------------------------------
+
+TEST(Lint, NegativeDiodeSaturationCurrentFlagged) {
+  // R/C/L/FET/MTJ constructors validate and surface as located parse errors
+  // (see ParserLocation below); the diode card takes is= unchecked, so it is
+  // the lint rule's job to catch it.
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "D1 a 0 is=-1f\n"
+      "R1 a 0 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kNonphysicalValue);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "D1");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(Lint, NonphysicalValueCatchesProgrammaticDiode) {
+  spice::Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add<spice::VSource>("V1", a, spice::kGround, spice::SourceSpec::dc(1.0));
+  ckt.add<spice::Diode>("D1", a, spice::kGround, 0.0);
+  ckt.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  const auto diags =
+      lint::lint_circuit(ckt).by_rule(lint::rules::kNonphysicalValue);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "D1");
+  EXPECT_EQ(diags[0].line, -1);  // no netlist: no source location
+}
+
+// ---- card-unresolved --------------------------------------------------------
+
+TEST(Lint, DcCardWithUnknownSourceFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      ".dc Vmissing 0 1 5\n");
+  const auto diags = net->lint().by_rule(lint::rules::kCardUnresolved);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(Lint, DcCardSweepingAResistorFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      ".dc R1 0 1 5\n");
+  EXPECT_EQ(net->lint().by_rule(lint::rules::kCardUnresolved).size(), 1u);
+}
+
+TEST(Lint, AcCardWithUnknownSourceFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 0\n"
+      "R1 a 0 1k\n"
+      ".ac Vnope 1e6 1e9\n");
+  EXPECT_EQ(net->lint().by_rule(lint::rules::kCardUnresolved).size(), 1u);
+}
+
+// ---- probe-unresolved -------------------------------------------------------
+
+TEST(Lint, ProbeOfForeignDeviceFlagged) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n");
+  // Programmatic post-editing can attach probes that do not belong to this
+  // circuit; the parser itself rejects unknown targets at parse time.
+  spice::Circuit other;
+  auto* foreign =
+      other.add<spice::Resistor>("Rx", other.node("x"), spice::kGround, 1e3);
+  net->add_probe(spice::Probe::device_current(foreign, "i(Rx)"));
+  const auto diags = net->lint().by_rule(lint::rules::kProbeUnresolved);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+// ---- subckt-unused-port -----------------------------------------------------
+
+TEST(Lint, UnusedSubcktPortFlagged) {
+  auto net = parse(
+      "buf with dead vdd port\n"
+      ".subckt buf in out vdd\n"
+      "R1 in out 1k\n"
+      ".ends\n"
+      "V1 a 0 DC 1\n"
+      "Vd d 0 DC 1\n"
+      "X1 a b d buf\n");
+  const auto diags = net->lint().by_rule(lint::rules::kSubcktUnusedPort);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].node, "vdd");
+  EXPECT_EQ(diags[0].line, 2);  // the .subckt card
+}
+
+// ---- paper-specific topology ------------------------------------------------
+
+TEST(Lint, MissingCrossCouplingInNvCellFlagged) {
+  // 2 MTJs + 6 FETs, but every gate hangs on one driver: no cross-coupled
+  // inverter pair anywhere.
+  auto net = parse(
+      "broken cell\n"
+      "Vdd vdd 0 DC 0.9\n"
+      "Vg g 0 DC 0.9\n"
+      "M1 a g vdd pfin\n"
+      "M2 a g 0 nfin\n"
+      "M3 b g vdd pfin\n"
+      "M4 b g 0 nfin\n"
+      "M5 c g a nfin\n"
+      "M6 d g b nfin\n"
+      "Y1 0 c P\n"
+      "Y2 0 d P\n");
+  EXPECT_EQ(net->lint().by_rule(lint::rules::kSramCrossCoupling).size(), 1u);
+}
+
+TEST(Lint, SmallMtjCircuitsNotHeldToCellTopology) {
+  auto net = parse(
+      "store branch in isolation\n"
+      "Vq q 0 DC 0.9\n"
+      "Vsr sr 0 DC 0.65\n"
+      "M1 q sr y nfin\n"
+      "Y1 0 y P\n");
+  EXPECT_TRUE(net->lint().by_rule(lint::rules::kSramCrossCoupling).empty());
+}
+
+TEST(Lint, MtjPinnedLayerOnStoreBranchFlagged) {
+  // Swapped MTJ: pinned layer on the FET side, free layer to the driver.
+  auto net = parse(
+      "swapped store branch\n"
+      "Vq q 0 DC 0.9\n"
+      "Vsr sr 0 DC 0.65\n"
+      "Vctl ctrl 0 DC 0\n"
+      "M1 q sr y nfin\n"
+      "Y1 y ctrl P\n");
+  const auto diags = net->lint().by_rule(lint::rules::kMtjOrientation);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "Y1");
+}
+
+TEST(Lint, MtjFreeLayerOnStoreBranchAccepted) {
+  auto net = parse(
+      "correct store branch\n"
+      "Vq q 0 DC 0.9\n"
+      "Vsr sr 0 DC 0.65\n"
+      "Vctl ctrl 0 DC 0\n"
+      "M1 q sr y nfin\n"
+      "Y1 ctrl y P\n");
+  EXPECT_TRUE(net->lint().by_rule(lint::rules::kMtjOrientation).empty());
+}
+
+// ---- options: per-rule disable, severity floor ------------------------------
+
+TEST(Lint, DisabledRuleIsSkipped) {
+  auto net = parse(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out dangl 1k\n");
+  LintOptions opt;
+  opt.disable(lint::rules::kFloatNode);
+  EXPECT_TRUE(net->lint(opt).empty());
+}
+
+TEST(Lint, MinSeverityDropsWarnings) {
+  auto net = parse(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out dangl 1k\n");
+  LintOptions opt;
+  opt.min_severity = Severity::kError;
+  EXPECT_TRUE(net->lint(opt).empty());
+}
+
+// ---- run_* gating: fail fast before Newton ----------------------------------
+
+TEST(LintGate, FloatingNodeNetlistRejectedBeforeSimulation) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 x y 1k\n"
+      ".probe v(a)\n"
+      ".tran 1n\n");
+  EXPECT_THROW(net->run_tran(), lint::LintError);
+  try {
+    net->run_tran();
+  } catch (const lint::LintError& e) {
+    EXPECT_FALSE(e.report().by_rule(lint::rules::kNoDcPath).empty());
+    EXPECT_NE(std::string(e.what()).find("no-dc-path"), std::string::npos);
+  }
+}
+
+TEST(LintGate, SingularVoltageLoopRejectedAtLintTimeNotAfterNewton) {
+  const char* text =
+      "V1 a 0 DC 1\n"
+      "V2 a 0 DC 1\n"
+      "R1 a 0 1k\n";
+  // With the gate on, run_op throws before any Newton iteration.
+  auto gated = parse(text);
+  EXPECT_THROW(gated->run_op(), lint::LintError);
+  // With the gate off, the solver grinds through its strategies and comes
+  // back empty-handed (`singular` path) — the behaviour lint preempts.
+  auto ungated = parse(text);
+  ungated->set_lint_on_run(false);
+  EXPECT_FALSE(ungated->run_op().has_value());
+}
+
+TEST(LintGate, OptOutFlagAllowsDegenerateCircuits) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 x y 1k\n"
+      ".tran 1n\n");
+  net->set_lint_on_run(false);
+  EXPECT_NO_THROW(net->run_tran());  // gmin keeps the island solvable
+}
+
+TEST(LintGate, PerRuleDisableAllowsTargetedOptOut) {
+  auto net = parse(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 x y 1k\n"
+      ".tran 1n\n");
+  net->lint_options().disable(lint::rules::kNoDcPath)
+      .disable(lint::rules::kFloatNode);
+  EXPECT_NO_THROW(net->run_tran());
+}
+
+// ---- parser location satellite ----------------------------------------------
+
+TEST(ParserLocation, DuplicateDeviceNameCarriesLine) {
+  NetlistParser p;
+  try {
+    p.parse("R1 a 0 1k\nR1 a 0 2k\n");
+    FAIL() << "expected NetlistError";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(ParserLocation, NegativeResistanceCarriesLine) {
+  NetlistParser p;
+  try {
+    p.parse("t\nR1 a 0 1k\nR2 a 0 -5\n");
+    FAIL() << "expected NetlistError";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos);
+  }
+}
+
+TEST(ParserLocation, ZeroFinCountRejectedWithLine) {
+  NetlistParser p;
+  try {
+    p.parse(
+        "Vd d 0 DC 0.9\n"
+        "Vg g 0 DC 0.9\n"
+        "M1 d g 0 nfin fins=0\n");
+    FAIL() << "expected NetlistError";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("fin_count"), std::string::npos);
+  }
+}
+
+TEST(ParserLocation, NegativeMtjTauRejectedWithLine) {
+  NetlistParser p;
+  try {
+    p.parse(
+        "V1 a 0 DC 0.2\n"
+        "Y1 a 0 P tau0=-3n\n"
+        "R1 a 0 1k\n");
+    FAIL() << "expected NetlistError";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos);
+  }
+}
+
+TEST(ParserLocation, SubcktBodyErrorPointsAtBodyLine) {
+  NetlistParser p;
+  try {
+    p.parse(
+        "t\n"
+        ".subckt bad a\n"
+        "R1 a 0 -1\n"
+        ".ends\n"
+        "V1 in 0 DC 1\n"
+        "X1 in bad\n");
+    FAIL() << "expected NetlistError";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.line(), 3);  // the R card inside the body
+  }
+}
+
+TEST(ParserLocation, DeviceAndNodeLinesRecorded) {
+  auto net = parse(
+      "title\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out 0 1k\n");
+  EXPECT_EQ(net->device_line("V1"), 2);
+  EXPECT_EQ(net->device_line("R2"), 4);
+  EXPECT_EQ(net->node_line("out"), 3);
+  EXPECT_EQ(net->device_line("nope"), -1);
+}
+
+// ---- regression: every shipped netlist lints clean --------------------------
+
+TEST(LintRegression, AllShippedNetlistsLintClean) {
+  namespace fs = std::filesystem;
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(NVSRAM_NETLIST_DIR)) {
+    if (entry.path().extension() != ".cir") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto net = parse(ss.str());
+    const LintReport report = net->lint();
+    EXPECT_TRUE(report.empty())
+        << entry.path() << " has diagnostics:\n" << report.format();
+  }
+  EXPECT_GE(seen, 5u) << "netlists/ should ship at least the five seeds";
+}
+
+}  // namespace
+}  // namespace nvsram

@@ -109,8 +109,9 @@ TEST(Parser, FetCardWithOptions) {
       "Vd d 0 DC 0.9\n"
       "Vg g 0 DC 0.9\n"
       "M1 d g 0 nfin fins=3 vth=0.3\n");
-  // The fet helper adds the channel plus 4 capacitances.
-  EXPECT_EQ(net->circuit().devices().size(), 2u + 5u);
+  // The fet helper adds the channel plus Cgs/Cgd and the junction caps of
+  // the non-grounded terminals (source is grounded here, so no cjs).
+  EXPECT_EQ(net->circuit().devices().size(), 2u + 4u);
   auto* fet = dynamic_cast<FinFETElement*>(net->circuit().find_device("M1"));
   ASSERT_NE(fet, nullptr);
   EXPECT_EQ(fet->model().params().fin_count, 3);
