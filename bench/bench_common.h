@@ -8,8 +8,10 @@
 #include <iostream>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "models/paper_params.h"
+#include "runner/sweep_runner.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -33,6 +35,24 @@ inline std::string ratio_fmt(double r, int digits = 2) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*fx", digits, r);
   return buf;
+}
+
+// Standard runner configuration for a figure sweep: checkpoint next to the
+// CSV, NVSRAM_SWEEP_* environment drills honored (fault/kill/timeout — see
+// runner/sweep_runner.h).
+inline runner::RunnerOptions sweep_options(const std::string& runner_name,
+                                           std::string csv_path,
+                                           std::vector<std::string> columns) {
+  runner::RunnerOptions opts;
+  opts.csv_path = std::move(csv_path);
+  opts.csv_columns = std::move(columns);
+  opts.apply_env(runner_name);
+  return opts;
+}
+
+// One-line sweep accounting printed after each runner finishes.
+inline void print_sweep_summary(const runner::RunSummary& summary) {
+  std::cout << summary.describe() << "\n";
 }
 
 }  // namespace nvsram::bench

@@ -13,19 +13,34 @@ bool LuFactorization::factorize(const DenseMatrix& a, double pivot_floor) {
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
   valid_ = false;
+  failed_pivot_ = kNoFailedPivot;
+  non_finite_ = false;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: find the largest magnitude entry in column k at/below k.
+    // A NaN anywhere in the candidate column poisons the whole step, so it
+    // is treated as a failure here rather than silently losing the NaN to
+    // the (always-false) magnitude comparisons below.
     std::size_t pivot_row = k;
     double pivot_mag = std::fabs(lu_(k, k));
+    bool finite = std::isfinite(pivot_mag);
     for (std::size_t r = k + 1; r < n; ++r) {
       const double mag = std::fabs(lu_(r, k));
+      finite = finite && std::isfinite(mag);
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = r;
       }
     }
-    if (pivot_mag < pivot_floor) return false;
+    if (!finite || !std::isfinite(pivot_mag)) {
+      failed_pivot_ = k;
+      non_finite_ = true;
+      return false;
+    }
+    if (pivot_mag < pivot_floor) {
+      failed_pivot_ = k;
+      return false;
+    }
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
       std::swap(perm_[k], perm_[pivot_row]);

@@ -48,6 +48,8 @@ bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
                          double pivot_floor) {
   n_ = a.dimension();
   valid_ = false;
+  failed_pivot_ = kNoFailedPivot;
+  non_finite_ = false;
   if (n_ == 0) {
     valid_ = true;
     return true;
@@ -135,6 +137,16 @@ bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
     }
 
     // ---- pivot selection among not-yet-pivotal rows ----
+    // NaN/Inf anywhere in the eliminated column fails the factorization
+    // here: NaN loses every magnitude comparison, so without the explicit
+    // check it would silently end up inside L/U and poison every solve.
+    for (std::size_t node : topo) {
+      if (!std::isfinite(x[node])) {
+        failed_pivot_ = k;
+        non_finite_ = true;
+        return false;
+      }
+    }
     double max_mag = 0.0;
     std::size_t pivot_row = kNone;
     for (std::size_t node : topo) {
@@ -145,7 +157,10 @@ bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
         pivot_row = node;
       }
     }
-    if (pivot_row == kNone || max_mag < pivot_floor) return false;
+    if (pivot_row == kNone || max_mag < pivot_floor) {
+      failed_pivot_ = k;
+      return false;
+    }
     // Prefer the natural diagonal if it is within the threshold: keeps the
     // permutation close to identity, which preserves sparsity for MNA.
     if (pinv[k] == kNone && std::fabs(x[k]) >= pivot_threshold * max_mag &&

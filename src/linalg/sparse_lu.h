@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "linalg/lu.h"
 #include "linalg/sparse.h"
 
 namespace nvsram::linalg {
@@ -18,8 +19,10 @@ inline constexpr std::size_t kDenseCutoff = 160;
 class SparseLu {
  public:
   // Factorize A (CSR).  Returns false on structural or numerical
-  // singularity.  `pivot_threshold` in (0,1]: relative threshold pivoting —
-  // a diagonal pivot is kept if |diag| >= threshold * max|col candidates|.
+  // singularity, or when an eliminated column turns non-finite
+  // (failed_pivot()/non_finite() attribute the failure).
+  // `pivot_threshold` in (0,1]: relative threshold pivoting — a diagonal
+  // pivot is kept if |diag| >= threshold * max|col candidates|.
   bool factorize(const CsrMatrix& a, double pivot_threshold = 0.1,
                  double pivot_floor = 1e-300);
 
@@ -29,9 +32,16 @@ class SparseLu {
   std::size_t dimension() const { return n_; }
   std::size_t factor_nonzeros() const { return l_values_.size() + u_values_.size(); }
 
+  // After a failed factorize(): the elimination step (column) that gave up,
+  // and whether it failed on a NaN/Inf value rather than a tiny pivot.
+  std::size_t failed_pivot() const { return failed_pivot_; }
+  bool non_finite() const { return non_finite_; }
+
  private:
   std::size_t n_ = 0;
   bool valid_ = false;
+  std::size_t failed_pivot_ = kNoFailedPivot;
+  bool non_finite_ = false;
 
   // Row permutation: factor row i of PA corresponds to original row perm_[i];
   // pinv_ is the inverse map (original row -> factor row).

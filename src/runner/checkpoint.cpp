@@ -1,0 +1,104 @@
+#include "runner/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvsram::runner::checkpoint {
+
+namespace {
+
+constexpr const char* kMagic = "nvsram-sweep-checkpoint v1";
+
+std::string join_columns(const std::vector<std::string>& columns) {
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ',';
+    out += columns[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::size_t, Rows> load(const std::string& path,
+                                 const std::string& name,
+                                 const std::vector<std::string>& columns,
+                                 std::size_t n_points) {
+  std::map<std::size_t, Rows> done;
+  std::ifstream in(path);
+  if (!in) return done;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return done;
+  if (!std::getline(in, line) || line != "name=" + name) return done;
+  if (!std::getline(in, line) || line != "columns=" + join_columns(columns)) {
+    return done;
+  }
+
+  while (std::getline(in, line)) {
+    if (line == "end") break;
+    std::size_t index = 0, n_rows = 0;
+    if (std::sscanf(line.c_str(), "point=%zu rows=%zu", &index, &n_rows) != 2) {
+      return done;  // truncated / corrupt record: keep what parsed cleanly
+    }
+    Rows rows;
+    rows.reserve(n_rows);
+    bool ok = true;
+    for (std::size_t r = 0; r < n_rows && ok; ++r) {
+      if (!std::getline(in, line)) {
+        ok = false;
+        break;
+      }
+      std::istringstream is(line);
+      std::vector<double> row;
+      double v = 0.0;
+      while (is >> v) row.push_back(v);
+      if (row.size() != columns.size()) ok = false;
+      rows.push_back(std::move(row));
+    }
+    if (!ok) return done;  // partial trailing record from an interrupted write
+    if (index < n_points) done.emplace(index, std::move(rows));
+  }
+  return done;
+}
+
+void store(const std::string& path, const std::string& name,
+           const std::vector<std::string>& columns,
+           const std::map<std::size_t, Rows>& done) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " + tmp);
+    }
+    out << kMagic << '\n'
+        << "name=" << name << '\n'
+        << "columns=" << join_columns(columns) << '\n';
+    char buf[64];
+    for (const auto& [index, rows] : done) {
+      out << "point=" << index << " rows=" << rows.size() << '\n';
+      for (const auto& row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), "%.17g", row[i]);
+          if (i) out << ' ';
+          out << buf;
+        }
+        out << '\n';
+      }
+    }
+    out << "end\n";
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
+void remove(const std::string& path) { std::remove(path.c_str()); }
+
+}  // namespace nvsram::runner::checkpoint

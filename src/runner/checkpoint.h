@@ -1,0 +1,47 @@
+// Sweep checkpoint file: the completed points of a sweep with their CSV row
+// values, rewritten atomically (tmp + rename) after every completed point.
+//
+// Format (text, line-based):
+//   nvsram-sweep-checkpoint v1
+//   name=<runner name>
+//   columns=<c1,c2,...>
+//   point=<index> rows=<k>
+//   <v1> <v2> ...            (k lines, values in %.17g round-trip precision)
+//   ...
+//   end
+//
+// A checkpoint whose name or column list does not match the running sweep
+// is stale and ignored.  Values round-trip exactly through %.17g, so a
+// resumed sweep reproduces byte-identical CSV output.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvsram::runner {
+
+using Rows = std::vector<std::vector<double>>;
+
+namespace checkpoint {
+
+// Loads the completed points of `path`.  Returns an empty map when the file
+// is absent, stale (name/columns mismatch), truncated mid-record, or holds
+// indices >= n_points.
+std::map<std::size_t, Rows> load(const std::string& path,
+                                 const std::string& name,
+                                 const std::vector<std::string>& columns,
+                                 std::size_t n_points);
+
+// Atomically replaces `path` with the given completed set.
+// Throws std::runtime_error when the file cannot be written.
+void store(const std::string& path, const std::string& name,
+           const std::vector<std::string>& columns,
+           const std::map<std::size_t, Rows>& done);
+
+// Deletes the checkpoint file if present.
+void remove(const std::string& path);
+
+}  // namespace checkpoint
+}  // namespace nvsram::runner

@@ -1,0 +1,235 @@
+#include "runner/sweep_runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/watchdog.h"
+
+namespace nvsram::runner {
+
+namespace {
+
+// Parses "K" or "name:K"; returns -1 when unset or scoped to another runner.
+int scoped_index(const char* env, const std::string& runner_name) {
+  if (!env || !*env) return -1;
+  std::string text(env);
+  const std::size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    if (text.substr(0, colon) != runner_name) return -1;
+    text = text.substr(colon + 1);
+  }
+  try {
+    return std::stoi(text);
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+// Commas and newlines would break the one-line-per-failure manifest.
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == ',' || c == '\n' || c == '\r') c = ';';
+  }
+  return text;
+}
+
+}  // namespace
+
+const char* to_string(PointStatus status) {
+  switch (status) {
+    case PointStatus::kOk: return "ok";
+    case PointStatus::kRecovered: return "recovered";
+    case PointStatus::kResumed: return "resumed";
+    case PointStatus::kFailed: return "failed";
+    case PointStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+void RunnerOptions::apply_env(const std::string& runner_name) {
+  if (const char* v = std::getenv("NVSRAM_SWEEP_CHECKPOINT")) {
+    checkpoint = std::string(v) != "0";
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_TIMEOUT")) {
+    try {
+      point_timeout_sec = std::stod(v);
+    } catch (const std::exception&) {
+    }
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_RETRIES")) {
+    try {
+      max_attempts = std::stoi(v);
+    } catch (const std::exception&) {
+    }
+  }
+  if (const int k = scoped_index(std::getenv("NVSRAM_SWEEP_FAULT"), runner_name);
+      k >= 0) {
+    fault_point = k;
+  }
+  if (const int k = scoped_index(std::getenv("NVSRAM_SWEEP_KILL"), runner_name);
+      k >= 0) {
+    kill_after_point = k;
+  }
+}
+
+std::string RunSummary::describe() const {
+  std::ostringstream os;
+  os << "[sweep " << name << ": " << completed << " point"
+     << (completed == 1 ? "" : "s") << " completed";
+  if (resumed) os << " (" << resumed << " resumed from checkpoint)";
+  if (failed) {
+    os << ", " << failed << " FAILED";
+    if (timeouts) os << " (" << timeouts << " timeout)";
+    os << " -> " << manifest_path;
+  }
+  if (interrupted) os << ", INTERRUPTED";
+  os << "]";
+  return os.str();
+}
+
+SweepRunner::SweepRunner(std::string name, RunnerOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (options_.csv_path.empty() || options_.csv_columns.empty()) {
+    throw std::invalid_argument("SweepRunner: csv_path and csv_columns required");
+  }
+  if (options_.checkpoint_path.empty()) {
+    options_.checkpoint_path = options_.csv_path + ".ckpt";
+  }
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
+  RunSummary summary;
+  summary.name = name_;
+  summary.csv_path = options_.csv_path;
+  summary.manifest_path = options_.csv_path + ".failures.csv";
+  summary.outcomes.resize(n_points);
+  summary.rows.resize(n_points);
+
+  std::map<std::size_t, Rows> done;
+  if (options_.checkpoint) {
+    done = checkpoint::load(options_.checkpoint_path, name_,
+                            options_.csv_columns, n_points);
+  }
+
+  util::CsvWriter csv(options_.csv_path, options_.csv_columns);
+
+  auto emit_rows = [&](const Rows& rows) {
+    for (const auto& row : rows) csv.row(row);
+  };
+
+  for (std::size_t i = 0; i < n_points; ++i) {
+    PointOutcome& outcome = summary.outcomes[i];
+    outcome.index = i;
+
+    if (const auto it = done.find(i); it != done.end()) {
+      outcome.status = PointStatus::kResumed;
+      outcome.attempts = 0;
+      summary.rows[i] = it->second;
+      emit_rows(it->second);
+      ++summary.resumed;
+      ++summary.completed;
+      continue;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    bool succeeded = false;
+    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+      outcome.attempts = attempt + 1;
+      try {
+        if (static_cast<int>(i) == options_.fault_point) {
+          throw std::runtime_error("injected sweep fault (fault_point=" +
+                                   std::to_string(i) + ")");
+        }
+        PointContext ctx;
+        ctx.index = i;
+        ctx.attempt = attempt;
+        ctx.timeout_sec = options_.point_timeout_sec;
+        Rows rows = fn(ctx);
+        summary.rows[i] = std::move(rows);
+        outcome.status =
+            attempt > 0 ? PointStatus::kRecovered : PointStatus::kOk;
+        outcome.error.clear();
+        succeeded = true;
+        break;
+      } catch (const util::WatchdogError& e) {
+        outcome.status = PointStatus::kTimeout;
+        outcome.error = e.what();
+        break;  // a timed-out point would time out again: no retry
+      } catch (const std::exception& e) {
+        outcome.status = PointStatus::kFailed;
+        outcome.error = e.what();
+      }
+    }
+    outcome.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Harness-level contract violation, not a point failure: a malformed
+    // row would corrupt the CSV and the checkpoint, so abort the sweep.
+    if (succeeded) {
+      for (const auto& row : summary.rows[i]) {
+        if (row.size() != options_.csv_columns.size()) {
+          throw std::runtime_error("SweepRunner " + name_ +
+                                   ": row width mismatch at point " +
+                                   std::to_string(i));
+        }
+      }
+    }
+
+    if (succeeded) {
+      emit_rows(summary.rows[i]);
+      ++summary.completed;
+      done.emplace(i, summary.rows[i]);
+      if (options_.checkpoint) {
+        checkpoint::store(options_.checkpoint_path, name_,
+                          options_.csv_columns, done);
+      }
+    } else {
+      ++summary.failed;
+      if (outcome.status == PointStatus::kTimeout) ++summary.timeouts;
+      util::log_warn() << "sweep " << name_ << ": point " << i << " "
+                       << to_string(outcome.status) << " after "
+                       << outcome.attempts << " attempt(s): " << outcome.error;
+    }
+
+    // Crash drill: die hard right after the checkpoint hit disk, skipping
+    // every destructor (so the CSV is left truncated like a real crash).
+    if (static_cast<int>(i) == options_.kill_after_point) {
+      std::_Exit(3);
+    }
+    if (static_cast<int>(i) == options_.stop_after_point) {
+      summary.interrupted = true;
+      return summary;
+    }
+  }
+
+  // Failure manifest: written on every completed run, even when empty, so
+  // downstream tooling can rely on its existence.
+  {
+    std::ofstream manifest(summary.manifest_path, std::ios::trunc);
+    if (!manifest) {
+      throw std::runtime_error("SweepRunner: cannot write " +
+                               summary.manifest_path);
+    }
+    manifest << "point,status,attempts,error\n";
+    for (const auto& outcome : summary.outcomes) {
+      if (outcome.ok()) continue;
+      manifest << outcome.index << ',' << to_string(outcome.status) << ','
+               << outcome.attempts << ',' << sanitize(outcome.error) << '\n';
+    }
+  }
+
+  csv.flush();
+  if (options_.checkpoint && summary.failed == 0) {
+    checkpoint::remove(options_.checkpoint_path);
+  }
+  return summary;
+}
+
+}  // namespace nvsram::runner

@@ -1,0 +1,128 @@
+// Checkpointed, fault-tolerant sweep execution for the bench binaries.
+//
+// A sweep is an ordered list of points; each point produces zero or more
+// CSV rows.  The runner adds the resilience the figure sweeps need at
+// scale:
+//   * skip-and-record: a point whose callback throws is retried
+//     (max_attempts, with the attempt number exposed so callbacks can relax
+//     tolerances) and on terminal failure recorded in a failure manifest —
+//     the rest of the sweep still completes and the CSV holds every
+//     successful point.
+//   * wall-clock watchdog: the per-point budget is handed to the callback
+//     (wire it into TranOptions::max_wall_seconds); a util::WatchdogError
+//     is recorded as a timeout, not a crash.
+//   * checkpoint/resume: after every completed point the checkpoint file is
+//     atomically rewritten, so an interrupted or crashed sweep resumes from
+//     the last completed point and reproduces byte-identical CSV output.
+//
+// Fault/kill hooks (NVSRAM_SWEEP_FAULT / NVSRAM_SWEEP_KILL) let tests and
+// CI drill the failure paths on real benches; see RunnerOptions::apply_env.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.h"
+
+namespace nvsram::runner {
+
+struct RunnerOptions {
+  // Output CSV (written in point order; truncated and rebuilt on resume).
+  std::string csv_path;
+  std::vector<std::string> csv_columns;
+
+  // Checkpointing; the default path is csv_path + ".ckpt".  The checkpoint
+  // is deleted after a fully successful sweep and kept when any point
+  // failed, so a rerun retries only the failed points.
+  bool checkpoint = true;
+  std::string checkpoint_path;
+
+  // Per-point wall-clock budget in seconds (0 = no watchdog).  Exposed to
+  // the callback via PointContext::timeout_sec.
+  double point_timeout_sec = 0.0;
+
+  // Attempts per point; attempts > 0 are retries (callbacks should relax
+  // tolerances based on PointContext::attempt).  Timeouts are not retried.
+  int max_attempts = 2;
+
+  // ---- failure drills (tests / CI smoke) ----
+  int fault_point = -1;       // this point index fails on every attempt
+  int kill_after_point = -1;  // _Exit(3) right after checkpointing this point
+  int stop_after_point = -1;  // graceful in-process stop after this point
+
+  // Merges NVSRAM_SWEEP_* environment overrides:
+  //   NVSRAM_SWEEP_CHECKPOINT=0        disable checkpointing
+  //   NVSRAM_SWEEP_FAULT=K | name:K    inject a failure at point K
+  //   NVSRAM_SWEEP_KILL=K | name:K     simulate a crash after point K
+  //   NVSRAM_SWEEP_TIMEOUT=SECONDS     per-point watchdog budget
+  //   NVSRAM_SWEEP_RETRIES=N           attempts per point
+  // "name:K" scopes the drill to the runner with that name.
+  void apply_env(const std::string& runner_name);
+};
+
+struct PointContext {
+  std::size_t index = 0;
+  int attempt = 0;          // 0 on the first try; >0 => relax and retry
+  double timeout_sec = 0.0; // 0 = unlimited
+};
+
+enum class PointStatus { kOk, kRecovered, kResumed, kFailed, kTimeout };
+const char* to_string(PointStatus status);
+
+struct PointOutcome {
+  std::size_t index = 0;
+  PointStatus status = PointStatus::kOk;
+  int attempts = 1;
+  double seconds = 0.0;
+  std::string error;
+
+  bool ok() const {
+    return status == PointStatus::kOk || status == PointStatus::kRecovered ||
+           status == PointStatus::kResumed;
+  }
+};
+
+struct RunSummary {
+  std::string name;
+  std::vector<PointOutcome> outcomes;  // one per point, in order
+  std::vector<Rows> rows;              // CSV rows per point (empty if failed)
+  std::string csv_path;
+  std::string manifest_path;
+  std::size_t completed = 0;
+  std::size_t resumed = 0;
+  std::size_t failed = 0;   // terminal failures, incl. timeouts
+  std::size_t timeouts = 0;
+  bool interrupted = false;  // stop_after_point fired
+
+  bool all_ok() const { return failed == 0 && !interrupted; }
+  bool point_ok(std::size_t index) const {
+    return index < outcomes.size() && outcomes[index].ok();
+  }
+  // One-line account for bench stdout.
+  std::string describe() const;
+};
+
+class SweepRunner {
+ public:
+  // The callback computes one sweep point and returns its CSV rows (each
+  // row csv_columns.size() wide).  Throw to report failure.
+  using PointFn = std::function<Rows(const PointContext&)>;
+
+  SweepRunner(std::string name, RunnerOptions options);
+
+  const std::string& name() const { return name_; }
+  const RunnerOptions& options() const { return options_; }
+
+  // Runs points 0..n_points-1 in order.  Never throws for per-point
+  // failures (they are recorded); throws std::runtime_error only for
+  // harness-level problems (unwritable CSV/checkpoint, bad row widths).
+  RunSummary run(std::size_t n_points, const PointFn& fn);
+
+ private:
+  std::string name_;
+  RunnerOptions options_;
+};
+
+}  // namespace nvsram::runner

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "spice/device.h"
+#include "spice/fault.h"
 
 namespace nvsram::spice {
 
@@ -49,11 +51,19 @@ class Circuit {
   // Builds the unknown layout (node voltages + device branches).
   MnaLayout build_layout() const;
 
+  // ---- fault injection (tests / resilience drills) ----
+  // An attached plan is consulted by every Newton solve on this circuit;
+  // see spice/fault.h for the trigger semantics.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  void clear_fault_plan() { fault_plan_.reset(); }
+  FaultPlan* fault_plan() { return fault_plan_ ? &*fault_plan_ : nullptr; }
+
  private:
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, NodeId> node_ids_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, std::size_t> device_index_;
+  std::optional<FaultPlan> fault_plan_;
 };
 
 }  // namespace nvsram::spice

@@ -25,55 +25,23 @@ double evaluate_probe(const Probe& probe, const SolutionView& view, double time,
 DCAnalysis::DCAnalysis(Circuit& circuit, DCOptions options)
     : circuit_(circuit), options_(options), layout_(circuit.build_layout()) {}
 
-bool DCAnalysis::try_newton(linalg::Vector& x, const NewtonOptions& opts) {
-  const NewtonResult r =
-      solve_newton(circuit_, layout_, x, /*time=*/0.0, /*dt=*/0.0, /*dc=*/true,
-                   IntegrationMethod::kBackwardEuler, opts);
-  return r.converged;
-}
-
 std::optional<DCSolution> DCAnalysis::solve(const linalg::Vector* initial_guess) {
   linalg::Vector x(layout_.unknown_count(), 0.0);
   if (initial_guess && initial_guess->size() == x.size()) x = *initial_guess;
 
-  // 1. Plain Newton from the guess.
-  linalg::Vector attempt = x;
-  if (try_newton(attempt, options_.newton)) {
-    return DCSolution(std::move(attempt), layout_);
-  }
+  // DC always ramps sources from a zero vector when it gets that far.
+  RecoveryOptions recovery = options_.recovery;
+  recovery.source_ramp_from_zero = true;
 
-  // 2. gmin stepping: solve a heavily loaded system, then relax gmin.
-  attempt = x;
-  bool ladder_ok = true;
-  NewtonOptions opts = options_.newton;
-  for (double g = options_.gmin_start; g >= options_.gmin_stop * 0.99;
-       g /= options_.gmin_factor) {
-    opts.gmin = g;
-    if (!try_newton(attempt, opts)) {
-      ladder_ok = false;
-      break;
-    }
+  const NewtonResult r = solve_newton_with_recovery(
+      circuit_, layout_, x, /*time=*/0.0, /*dt=*/0.0, /*dc=*/true,
+      IntegrationMethod::kBackwardEuler, options_.newton, recovery);
+  last_diag_ = r.diagnostics;
+  if (!r.converged) {
+    util::log_warn() << "DC: no operating point: " << last_diag_.describe();
+    return std::nullopt;
   }
-  if (ladder_ok) {
-    opts.gmin = options_.newton.gmin;
-    if (try_newton(attempt, opts)) {
-      return DCSolution(std::move(attempt), layout_);
-    }
-  }
-
-  // 3. Source stepping: ramp all sources from zero.
-  attempt.assign(layout_.unknown_count(), 0.0);
-  opts = options_.newton;
-  for (int s = 1; s <= options_.source_steps; ++s) {
-    opts.source_scale =
-        static_cast<double>(s) / static_cast<double>(options_.source_steps);
-    if (!try_newton(attempt, opts)) {
-      util::log_warn() << "DC: source stepping failed at scale "
-                       << opts.source_scale;
-      return std::nullopt;
-    }
-  }
-  return DCSolution(std::move(attempt), layout_);
+  return DCSolution(std::move(x), layout_);
 }
 
 DCSweep::DCSweep(Circuit& circuit, std::function<void(double)> setter,
@@ -94,8 +62,9 @@ Waveform DCSweep::run() {
     DCAnalysis dc(circuit_, options_);
     auto sol = dc.solve(warm ? &*warm : nullptr);
     if (!sol) {
-      throw std::runtime_error("DCSweep: no convergence at point " +
-                               std::to_string(point));
+      throw SolverError("DCSweep: no convergence at point " +
+                            std::to_string(point),
+                        dc.last_diagnostics());
     }
     warm = sol->raw();
     std::vector<double> values;

@@ -14,12 +14,9 @@ namespace nvsram::spice {
 
 struct DCOptions {
   NewtonOptions newton;
-  // gmin stepping ladder used when the plain solve fails.
-  double gmin_start = 1e-2;
-  double gmin_stop = 1e-12;
-  double gmin_factor = 10.0;
-  // Source stepping fallback.
-  int source_steps = 25;
+  // Escalation ladder used when the plain solve fails (gmin stepping, then
+  // source stepping from zero) — see RecoveryOptions in spice/newton.h.
+  RecoveryOptions recovery;
 };
 
 // Result of a DC solve: the unknown vector with its layout kept alive.
@@ -44,15 +41,18 @@ class DCAnalysis {
   explicit DCAnalysis(Circuit& circuit, DCOptions options = {});
 
   // Solve the operating point.  `initial_guess` (optional) warm-starts
-  // Newton.  Returns nullopt if every strategy fails.
+  // Newton.  Returns nullopt if every strategy fails; last_diagnostics()
+  // then explains the failure (and on success records how hard the ladder
+  // had to work).
   std::optional<DCSolution> solve(const linalg::Vector* initial_guess = nullptr);
 
- private:
-  bool try_newton(linalg::Vector& x, const NewtonOptions& opts);
+  const SolveDiagnostics& last_diagnostics() const { return last_diag_; }
 
+ private:
   Circuit& circuit_;
   DCOptions options_;
   MnaLayout layout_;
+  SolveDiagnostics last_diag_;
 };
 
 // Sweeps a parameter (applied through `setter`) and records probe values at
@@ -65,7 +65,7 @@ class DCSweep {
           DCOptions options = {});
 
   // Runs the sweep; the waveform's "time" axis carries the swept values.
-  // Throws std::runtime_error if any point fails to converge.
+  // Throws SolverError (with diagnostics) if any point fails to converge.
   Waveform run();
 
  private:

@@ -1,0 +1,58 @@
+#include "spice/diagnostics.h"
+
+#include <sstream>
+
+namespace nvsram::spice {
+
+const char* to_string(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::kNone: return "none";
+    case RecoveryStage::kDtHalving: return "dt-halving";
+    case RecoveryStage::kGminRamp: return "gmin-ramp";
+    case RecoveryStage::kSourceRamp: return "source-ramp";
+    case RecoveryStage::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+const char* to_string(NonFiniteSite site) {
+  switch (site) {
+    case NonFiniteSite::kNone: return "none";
+    case NonFiniteSite::kStamp: return "stamp";
+    case NonFiniteSite::kRhs: return "rhs";
+    case NonFiniteSite::kFactor: return "lu-factor";
+    case NonFiniteSite::kSolution: return "solution";
+  }
+  return "?";
+}
+
+std::string SolveDiagnostics::describe() const {
+  std::ostringstream os;
+  if (converged) {
+    os << "converged in " << iterations << " iters";
+  } else if (non_finite_detected()) {
+    os << "non-finite value at " << to_string(non_finite);
+    if (!non_finite_device.empty()) os << " (device '" << non_finite_device << "')";
+    os << " after " << iterations << " iters";
+  } else if (singular) {
+    os << "singular system";
+    if (singular_pivot != kNoPivot) os << " (pivot " << singular_pivot << ")";
+  } else {
+    os << "not converged after " << iterations << " iters";
+  }
+  os << " at t=" << time;
+  if (last_dt > 0.0) os << " (dt=" << last_dt << ")";
+  if (!worst_node.empty() && !singular && !non_finite_detected()) {
+    os << ", worst '" << worst_node << "' |dx|=" << worst_delta << " (tol "
+       << worst_tol << ")";
+  }
+  if (stage != RecoveryStage::kNone) os << ", recovery=" << to_string(stage);
+  if (injected) os << " [injected fault]";
+  return os.str();
+}
+
+SolverError::SolverError(const std::string& context, SolveDiagnostics diag)
+    : std::runtime_error(context + ": " + diag.describe()),
+      diag_(std::move(diag)) {}
+
+}  // namespace nvsram::spice

@@ -1,0 +1,88 @@
+// Structured solver diagnostics: every Newton / DC / transient failure
+// carries *where* it happened (worst-offending unknown by name), *why*
+// (singular pivot, non-finite value with its site and culprit device,
+// plain non-convergence) and *how hard the solver tried* (the recovery
+// ladder stage reached).  Thrown errors wrap these in SolverError so
+// callers can either read the message or branch on the fields.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace nvsram::spice {
+
+// How far the recovery ladder escalated before the result was produced.
+// Order matters: each stage is only entered after every earlier one failed.
+enum class RecoveryStage {
+  kNone = 0,     // plain Newton, no recovery needed / attempted
+  kDtHalving,    // transient only: timestep was cut after a failure
+  kGminRamp,     // solved under heavy gmin loading, then relaxed
+  kSourceRamp,   // sources ramped from zero (or from the entry scale)
+  kExhausted,    // every stage failed — the diagnostics describe the last
+};
+const char* to_string(RecoveryStage stage);
+
+// Where a NaN/Inf was first detected inside one Newton solve.
+enum class NonFiniteSite {
+  kNone = 0,
+  kStamp,     // a device loaded a non-finite matrix entry
+  kRhs,       // the assembled right-hand side contains a non-finite entry
+  kFactor,    // the LU factorization hit a non-finite pivot
+  kSolution,  // the solved update vector contains a non-finite entry
+};
+const char* to_string(NonFiniteSite site);
+
+struct SolveDiagnostics {
+  static constexpr std::size_t kNoPivot =
+      std::numeric_limits<std::size_t>::max();
+
+  bool converged = false;
+  bool singular = false;
+  int iterations = 0;
+
+  // Context of the solve: simulation time and the timestep in effect
+  // (0 for DC).
+  double time = 0.0;
+  double last_dt = 0.0;
+  RecoveryStage stage = RecoveryStage::kNone;
+
+  // Non-finite detection.
+  NonFiniteSite non_finite = NonFiniteSite::kNone;
+  std::string non_finite_device;  // culprit device for kStamp (empty else)
+
+  // Worst convergence-check offender of the last Newton iteration: the
+  // unknown whose update exceeded its tolerance by the largest factor.
+  std::string worst_node;
+  double worst_delta = 0.0;  // |x_new - x| at that unknown
+  double worst_tol = 0.0;    // its abstol + reltol * |x| budget
+
+  // Pivot index at which the LU factorization gave up (kNoPivot if the
+  // factorization succeeded or was never reached).
+  std::size_t singular_pivot = kNoPivot;
+
+  // True when the failure was forced by an injected FaultPlan.
+  bool injected = false;
+
+  bool non_finite_detected() const { return non_finite != NonFiniteSite::kNone; }
+
+  // One-line human-readable summary, e.g.
+  //   "not converged after 120 iters at t=1.2e-09 (dt=2.5e-13), worst node
+  //    'q' |dx|=3.1e-02 (tol 9.3e-04), recovery=source-ramp"
+  std::string describe() const;
+};
+
+// Thrown by the analyses when no recovery strategy salvaged a solve.  The
+// what() string already embeds describe(); the structured fields remain
+// available for programmatic handling (sweep runners, tests).
+class SolverError : public std::runtime_error {
+ public:
+  SolverError(const std::string& context, SolveDiagnostics diag);
+  const SolveDiagnostics& diagnostics() const { return diag_; }
+
+ private:
+  SolveDiagnostics diag_;
+};
+
+}  // namespace nvsram::spice

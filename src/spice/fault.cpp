@@ -1,0 +1,101 @@
+#include "spice/fault.h"
+
+#include <stdexcept>
+
+namespace nvsram::spice {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanStamp: return "nan-stamp";
+    case FaultKind::kSingular: return "singular";
+    case FaultKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+}
+
+FaultSpec parse_one(const std::string& text) {
+  FaultSpec spec;
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument("FaultPlan: missing '@solve' in '" + text + "'");
+  }
+  const std::string kind = text.substr(0, at);
+  if (kind == "nan-stamp") {
+    spec.kind = FaultKind::kNanStamp;
+  } else if (kind == "singular") {
+    spec.kind = FaultKind::kSingular;
+  } else if (kind == "stall") {
+    spec.kind = FaultKind::kStall;
+  } else {
+    throw std::invalid_argument("FaultPlan: unknown fault kind '" + kind + "'");
+  }
+
+  std::string rest = text.substr(at + 1);
+  // Optional device scope ":dev=NAME" (taken verbatim to the end).
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    const std::string opt = rest.substr(colon + 1);
+    if (opt.rfind("dev=", 0) != 0) {
+      throw std::invalid_argument("FaultPlan: unknown option '" + opt + "'");
+    }
+    spec.device = opt.substr(4);
+    rest = rest.substr(0, colon);
+  }
+  // "K" or "KxN".
+  try {
+    const std::size_t x = rest.find('x');
+    spec.at_solve = std::stoi(rest.substr(0, x));
+    if (x != std::string::npos) spec.count = std::stoi(rest.substr(x + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad trigger '" + rest + "'");
+  }
+  if (spec.at_solve < 0) {
+    throw std::invalid_argument("FaultPlan: negative solve index in '" + text + "'");
+  }
+  return spec;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(';', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string piece = trimmed(text.substr(start, end - start));
+    if (!piece.empty()) plan.add(parse_one(piece));
+    start = end + 1;
+  }
+  if (plan.empty()) {
+    throw std::invalid_argument("FaultPlan: empty plan '" + text + "'");
+  }
+  return plan;
+}
+
+bool FaultPlan::fires(FaultKind kind, int solve_index) const {
+  for (const auto& spec : specs_) {
+    if (spec.kind == kind && spec.covers(solve_index)) return true;
+  }
+  return false;
+}
+
+const FaultSpec* FaultPlan::stamp_fault(int solve_index,
+                                        const std::string& device,
+                                        bool first) const {
+  for (const auto& spec : specs_) {
+    if (spec.kind != FaultKind::kNanStamp || !spec.covers(solve_index)) continue;
+    if (spec.device.empty() ? first : spec.device == device) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace nvsram::spice

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "linalg/lu.h"
 #include "linalg/sparse_lu.h"
@@ -9,26 +10,94 @@
 
 namespace nvsram::spice {
 
+std::string unknown_name(const Circuit& circuit, const MnaLayout& layout,
+                         std::size_t index) {
+  if (index < layout.node_count() - 1) return circuit.node_name(index + 1);
+  return "branch[" + std::to_string(index - (layout.node_count() - 1)) + "]";
+}
+
+namespace {
+
+// Scans `v` for the first non-finite entry; returns its index or npos.
+std::size_t first_non_finite(const linalg::Vector& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return i;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace
+
 NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
                           linalg::Vector& x, double time, double dt, bool dc,
                           IntegrationMethod method, const NewtonOptions& opts) {
   const std::size_t n = layout.unknown_count();
   const std::size_t node_unknowns = layout.node_count() - 1;
+  constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
   x.resize(n, 0.0);
 
   linalg::SparseBuilder builder(n);
   linalg::Vector rhs(n, 0.0);
   NewtonResult result;
+  SolveDiagnostics& diag = result.diagnostics;
+  diag.time = time;
+  diag.last_dt = dt;
+
+  FaultPlan* faults = circuit.fault_plan();
+  const int solve_index = faults ? faults->begin_solve() : 0;
+
+  // Injected hard singularity: report it exactly like a real one.
+  if (faults && faults->fires(FaultKind::kSingular, solve_index)) {
+    result.singular = true;
+    diag.singular = true;
+    diag.injected = true;
+    util::log_warn() << "newton: injected singular fault at solve "
+                     << solve_index << " (t=" << time << ")";
+    return result;
+  }
+  const bool stalled =
+      faults && faults->fires(FaultKind::kStall, solve_index);
 
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     result.iterations = iter;
+    diag.iterations = iter;
     builder.clear();
     std::fill(rhs.begin(), rhs.end(), 0.0);
 
     StampContext ctx(layout, x, builder, rhs, time, dt, dc, method,
                      opts.source_scale);
+    bool first_device = true;
     for (const auto& dev : circuit.devices()) {
+      const std::size_t mark = builder.triplets().size();
       dev->stamp(ctx);
+      if (faults) {
+        if (const FaultSpec* f =
+                faults->stamp_fault(solve_index, dev->name(), first_device)) {
+          (void)f;
+          builder.add(0, 0, std::numeric_limits<double>::quiet_NaN());
+          diag.injected = true;
+        }
+      }
+      // Non-finite stamp guard: check only this device's new entries so the
+      // culprit is attributed by name.
+      const auto& trips = builder.triplets();
+      for (std::size_t i = mark; i < trips.size(); ++i) {
+        if (!std::isfinite(trips[i].value)) {
+          diag.non_finite = NonFiniteSite::kStamp;
+          diag.non_finite_device = dev->name();
+          util::log_warn() << "newton: non-finite stamp from device '"
+                           << dev->name() << "' at t=" << time;
+          return result;
+        }
+      }
+      first_device = false;
+    }
+    if (const std::size_t bad = first_non_finite(rhs); bad != kNpos) {
+      diag.non_finite = NonFiniteSite::kRhs;
+      diag.worst_node = unknown_name(circuit, layout, bad);
+      util::log_warn() << "newton: non-finite RHS at '" << diag.worst_node
+                       << "', t=" << time;
+      return result;
     }
     // gmin from every node to ground: keeps floating nodes and cut-off FET
     // stacks numerically nonsingular.
@@ -39,32 +108,71 @@ NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
     const linalg::CsrMatrix a(builder);
     std::optional<linalg::Vector> solved;
     if (n <= linalg::kDenseCutoff) {
-      solved = linalg::solve_dense(a.to_dense(), rhs);
+      linalg::LuFactorization lu;
+      if (lu.factorize(a.to_dense())) {
+        solved = lu.solve(rhs);
+      } else {
+        diag.singular_pivot = lu.failed_pivot();
+        if (lu.non_finite()) diag.non_finite = NonFiniteSite::kFactor;
+      }
     } else {
       linalg::SparseLu lu;
-      if (lu.factorize(a)) solved = lu.solve(rhs);
+      if (lu.factorize(a)) {
+        solved = lu.solve(rhs);
+      } else {
+        diag.singular_pivot = lu.failed_pivot();
+        if (lu.non_finite()) diag.non_finite = NonFiniteSite::kFactor;
+      }
     }
     if (!solved) {
-      result.singular = true;
-      util::log_warn() << "newton: singular system at t=" << time;
+      result.singular = diag.non_finite == NonFiniteSite::kNone;
+      diag.singular = result.singular;
+      if (diag.singular_pivot != SolveDiagnostics::kNoPivot) {
+        diag.worst_node = unknown_name(circuit, layout, diag.singular_pivot);
+      }
+      util::log_warn() << "newton: "
+                       << (diag.singular ? "singular system"
+                                         : "non-finite LU factor")
+                       << " at t=" << time;
+      return result;
+    }
+    if (const std::size_t bad = first_non_finite(*solved); bad != kNpos) {
+      diag.non_finite = NonFiniteSite::kSolution;
+      diag.worst_node = unknown_name(circuit, layout, bad);
+      util::log_warn() << "newton: non-finite solution at '" << diag.worst_node
+                       << "', t=" << time;
       return result;
     }
 
-    // Convergence check on the raw update.
+    // Convergence check on the raw update; tracks the worst offender (by
+    // how far it exceeds its tolerance budget) for diagnostics.
     bool converged = true;
+    double worst_ratio = 0.0;
+    std::size_t worst_index = kNpos;
+    double worst_delta = 0.0, worst_tol = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double delta = std::fabs((*solved)[i] - x[i]);
       const double abstol = (i < node_unknowns) ? opts.abstol_v : opts.abstol_i;
       const double tol = abstol + opts.reltol * std::max(std::fabs((*solved)[i]),
                                                          std::fabs(x[i]));
-      if (delta > tol) {
-        converged = false;
-        break;
+      if (delta > tol) converged = false;
+      const double ratio = tol > 0.0 ? delta / tol : 0.0;
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst_index = i;
+        worst_delta = delta;
+        worst_tol = tol;
       }
     }
-    if (converged) {
+    if (worst_index != kNpos) {
+      diag.worst_node = unknown_name(circuit, layout, worst_index);
+      diag.worst_delta = worst_delta;
+      diag.worst_tol = worst_tol;
+    }
+    if (converged && !stalled) {
       x = std::move(*solved);
       result.converged = true;
+      diag.converged = true;
       return result;
     }
 
@@ -80,7 +188,88 @@ NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
       x[i] = next;
     }
   }
+  if (stalled) diag.injected = true;
   return result;
+}
+
+NewtonResult solve_newton_with_recovery(Circuit& circuit,
+                                        const MnaLayout& layout,
+                                        linalg::Vector& x, double time,
+                                        double dt, bool dc,
+                                        IntegrationMethod method,
+                                        const NewtonOptions& opts,
+                                        const RecoveryOptions& recovery) {
+  const linalg::Vector x0 = x;
+
+  NewtonResult plain = solve_newton(circuit, layout, x, time, dt, dc, method, opts);
+  if (plain.converged) return plain;
+
+  // ---- stage 1: gmin ramp ----
+  // Solve a heavily loaded (gmin_start to ground everywhere) system, then
+  // relax the loading rung by rung, warm-starting each rung from the last.
+  if (recovery.gmin_ramp) {
+    linalg::Vector attempt = x0;
+    NewtonOptions rung_opts = opts;
+    bool ladder_ok = true;
+    NewtonResult rung;
+    for (double g = recovery.gmin_start; g >= recovery.gmin_stop * 0.99;
+         g /= recovery.gmin_factor) {
+      rung_opts.gmin = std::max(g, opts.gmin);
+      rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
+                          rung_opts);
+      plain.iterations += rung.iterations;
+      if (!rung.converged) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      rung_opts.gmin = opts.gmin;
+      rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
+                          rung_opts);
+      plain.iterations += rung.iterations;
+      if (rung.converged) {
+        x = std::move(attempt);
+        rung.iterations = plain.iterations;
+        rung.diagnostics.stage = RecoveryStage::kGminRamp;
+        return rung;
+      }
+    }
+  }
+
+  // ---- stage 2: source ramp ----
+  // Ramp every independent source from zero (DC) or from the entry scale's
+  // fraction (transient salvage) up to the requested scale.
+  if (recovery.source_ramp && recovery.source_steps > 0) {
+    linalg::Vector attempt =
+        recovery.source_ramp_from_zero ? linalg::Vector(x0.size(), 0.0) : x0;
+    NewtonOptions ramp_opts = opts;
+    bool ramp_ok = true;
+    NewtonResult rung;
+    for (int s = 1; s <= recovery.source_steps; ++s) {
+      ramp_opts.source_scale = opts.source_scale * static_cast<double>(s) /
+                               static_cast<double>(recovery.source_steps);
+      rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
+                          ramp_opts);
+      plain.iterations += rung.iterations;
+      if (!rung.converged) {
+        util::log_warn() << "newton: source ramp failed at scale "
+                         << ramp_opts.source_scale << " (t=" << time << ")";
+        ramp_ok = false;
+        break;
+      }
+    }
+    if (ramp_ok) {
+      x = std::move(attempt);
+      rung.iterations = plain.iterations;
+      rung.diagnostics.stage = RecoveryStage::kSourceRamp;
+      return rung;
+    }
+  }
+
+  plain.diagnostics.stage = RecoveryStage::kExhausted;
+  x = x0;
+  return plain;
 }
 
 }  // namespace nvsram::spice

@@ -4,11 +4,17 @@
 // solves A(x_k) x_{k+1} = b(x_k) directly.  Convergence requires the update
 // to fall below abstol + reltol * |x| on every unknown, evaluated BEFORE
 // step limiting so a limited iterate never reads as converged.
+//
+// Every solve carries non-finite guards: NaN/Inf in a device stamp, the
+// assembled RHS, the LU factors, or the solution vector aborts the
+// iteration cleanly and attributes the culprit in the returned
+// SolveDiagnostics instead of propagating garbage iterates.
 #pragma once
 
 #include "linalg/dense.h"
 #include "spice/circuit.h"
 #include "spice/device.h"
+#include "spice/diagnostics.h"
 
 namespace nvsram::spice {
 
@@ -22,11 +28,33 @@ struct NewtonOptions {
   double voltage_limit = 0.4;  // max per-iteration node-voltage update (V)
 };
 
+// Escalation ladder used when a plain solve fails: solve under heavy gmin
+// loading and relax it rung by rung, then ramp the sources up from zero.
+// Shared by the DC operating-point search and the transient mid-step
+// salvage (where it runs after dt-halving bottoms out at dt_min).
+struct RecoveryOptions {
+  bool gmin_ramp = true;
+  double gmin_start = 1e-2;
+  double gmin_stop = 1e-12;
+  double gmin_factor = 10.0;
+  bool source_ramp = true;
+  int source_steps = 25;
+  // DC ramps sources from a zero vector; the transient salvage restarts
+  // each rung from the last accepted timepoint instead.
+  bool source_ramp_from_zero = true;
+};
+
 struct NewtonResult {
   bool converged = false;
   int iterations = 0;
   bool singular = false;
+  SolveDiagnostics diagnostics;
 };
+
+// Name of an unknown for diagnostics: the node name for voltage unknowns,
+// "branch[k]" for device branch currents.
+std::string unknown_name(const Circuit& circuit, const MnaLayout& layout,
+                         std::size_t index);
 
 // Solves the system at (time, dt); `x` carries the initial guess in and the
 // solution out.  `dc` selects the operating-point companion (capacitors
@@ -34,5 +62,19 @@ struct NewtonResult {
 NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
                           linalg::Vector& x, double time, double dt, bool dc,
                           IntegrationMethod method, const NewtonOptions& opts);
+
+// solve_newton plus the recovery ladder: on failure escalates through
+// gmin-ramping and source-ramping at the same timepoint.  On success the
+// returned diagnostics record the stage that produced the solution; on
+// failure the stage is kExhausted and the diagnostics describe the
+// original (unrecovered) failure.  Iteration counts accumulate across all
+// attempted rungs.
+NewtonResult solve_newton_with_recovery(Circuit& circuit,
+                                        const MnaLayout& layout,
+                                        linalg::Vector& x, double time,
+                                        double dt, bool dc,
+                                        IntegrationMethod method,
+                                        const NewtonOptions& opts,
+                                        const RecoveryOptions& recovery);
 
 }  // namespace nvsram::spice

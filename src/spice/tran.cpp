@@ -26,6 +26,8 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
   const double dt_max =
       options_.dt_max > 0.0 ? options_.dt_max : options_.t_stop / 50.0;
 
+  const util::Deadline watchdog(options_.max_wall_seconds);
+
   // ---- initial condition ----
   linalg::Vector x;
   if (initial) {
@@ -33,7 +35,11 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
   } else {
     DCAnalysis dc(circuit_);
     auto sol = dc.solve();
-    if (!sol) throw std::runtime_error("TranAnalysis: DC initial point failed");
+    if (!sol) {
+      stats_.last_diagnostics = dc.last_diagnostics();
+      throw SolverError("TranAnalysis: DC initial point failed",
+                        dc.last_diagnostics());
+    }
     x = sol->raw();
   }
   {
@@ -102,6 +108,7 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
   const std::size_t node_unknowns = layout_.node_count() - 1;
 
   while (t < options_.t_stop - 1e-18 * options_.t_stop) {
+    watchdog.check("TranAnalysis");
     // Clamp to the next breakpoint so source corners are hit exactly.
     auto bp = breakpoints.upper_bound(t * (1.0 + 1e-15));
     double dt_try = std::min(dt, dt_max);
@@ -123,23 +130,52 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
     }
 
     linalg::Vector x_new = x_pred;
-    const NewtonResult nr =
+    NewtonResult nr =
         solve_newton(circuit_, layout_, x_new, t + dt_try, dt_try, /*dc=*/false,
                      options_.method, options_.newton);
     stats_.total_newton_iterations += static_cast<std::size_t>(nr.iterations);
 
+    bool salvaged = false;
     if (!nr.converged) {
       ++stats_.newton_failures;
+      nr.diagnostics.stage = RecoveryStage::kDtHalving;
+      stats_.last_diagnostics = nr.diagnostics;
       dt = dt_try / 4.0;
-      if (dt < options_.dt_min) {
-        throw std::runtime_error("TranAnalysis: timestep underflow at t=" +
-                                 std::to_string(t));
+      if (dt >= options_.dt_min) continue;
+
+      // dt-halving is exhausted: escalate through the recovery ladder at
+      // this timepoint, restarting from the last accepted solution.
+      if (options_.recovery_enabled) {
+        RecoveryOptions recovery = options_.recovery;
+        recovery.source_ramp_from_zero = false;
+        x_new = x;
+        nr = solve_newton_with_recovery(circuit_, layout_, x_new, t + dt_try,
+                                        dt_try, /*dc=*/false, options_.method,
+                                        options_.newton, recovery);
+        stats_.total_newton_iterations +=
+            static_cast<std::size_t>(nr.iterations);
       }
-      continue;
+      stats_.last_diagnostics = nr.diagnostics;
+      if (!nr.converged) {
+        throw SolverError("TranAnalysis: timestep underflow at t=" +
+                              std::to_string(t) + " (recovery ladder exhausted)",
+                          nr.diagnostics);
+      }
+      if (nr.diagnostics.stage == RecoveryStage::kGminRamp) {
+        ++stats_.gmin_recoveries;
+      } else if (nr.diagnostics.stage == RecoveryStage::kSourceRamp) {
+        ++stats_.source_recoveries;
+      }
+      // Accept the salvaged step unconditionally: the predictor state is
+      // stale, so the LTE test below would reject it spuriously.
+      salvaged = true;
+      dt = std::max(options_.dt_min, dt_try);
     }
 
     // Local error estimate from the predictor mismatch (node voltages only).
-    if (have_history) {
+    if (salvaged) {
+      // dt already reset; no LTE check against the stale predictor.
+    } else if (have_history) {
       double worst = 0.0;
       for (std::size_t i = 0; i < node_unknowns; ++i) {
         const double err = std::fabs(x_new[i] - x_pred[i]);

@@ -5,6 +5,12 @@
 // two accepted points and the Newton solution).  Source breakpoints are
 // never stepped across.  Devices with discrete events (MTJ switching)
 // trigger a step-size reset when they fire.
+//
+// Resilience: when dt-halving bottoms out at dt_min the step is salvaged
+// through the shared recovery ladder (gmin-ramp, then source-ramp at the
+// failed timepoint); only when the ladder is exhausted does run() throw a
+// SolverError carrying structured diagnostics.  An optional wall-clock
+// watchdog bounds pathological runs.
 #pragma once
 
 #include <optional>
@@ -12,8 +18,10 @@
 
 #include "spice/circuit.h"
 #include "spice/dc.h"
+#include "spice/diagnostics.h"
 #include "spice/newton.h"
 #include "spice/waveform.h"
+#include "util/watchdog.h"
 
 namespace nvsram::spice {
 
@@ -31,6 +39,12 @@ struct TranOptions {
   // still takes every step; only probe recording is decimated).  0 =>
   // record every accepted step.
   std::size_t max_samples = 0;
+  // Mid-step salvage ladder entered when dt-halving reaches dt_min.
+  RecoveryOptions recovery;
+  bool recovery_enabled = true;
+  // Wall-clock watchdog: run() throws util::WatchdogError once the run has
+  // consumed this many seconds.  0 => unlimited.
+  double max_wall_seconds = 0.0;
 };
 
 struct TranStats {
@@ -39,6 +53,12 @@ struct TranStats {
   std::size_t newton_failures = 0;
   std::size_t device_events = 0;
   std::size_t total_newton_iterations = 0;
+  // Recovery-ladder accounting: steps salvaged per stage.
+  std::size_t gmin_recoveries = 0;
+  std::size_t source_recoveries = 0;
+  std::size_t recoveries() const { return gmin_recoveries + source_recoveries; }
+  // Diagnostics of the last failed (or salvaged) solve, if any.
+  SolveDiagnostics last_diagnostics;
 };
 
 class TranAnalysis {
@@ -46,7 +66,8 @@ class TranAnalysis {
   TranAnalysis(Circuit& circuit, TranOptions options, std::vector<Probe> probes);
 
   // Runs DC (unless `initial` given) then integrates to t_stop.
-  // Throws std::runtime_error when no convergence is possible.
+  // Throws SolverError (with diagnostics) when no convergence is possible,
+  // util::WatchdogError when the wall-clock budget expires.
   Waveform run(const DCSolution* initial = nullptr);
 
   const TranStats& stats() const { return stats_; }

@@ -439,7 +439,9 @@ std::optional<spice::DCSolution> CellTestbench::solve_dc(
   }
   const linalg::Vector guess = dc_guess(bias, data);
   spice::DCAnalysis dc(circuit_);
-  return dc.solve(&guess);
+  auto sol = dc.solve(&guess);
+  last_dc_diag_ = dc.last_diagnostics();
+  return sol;
 }
 
 double CellTestbench::static_power(StaticMode mode, bool data) {
@@ -451,7 +453,8 @@ double CellTestbench::static_power(StaticMode mode, bool data) {
   }
   auto sol = solve_dc(bias, data);
   if (!sol) {
-    throw std::runtime_error("CellTestbench::static_power: DC failed");
+    throw spice::SolverError("CellTestbench::static_power: DC failed",
+                             last_dc_diag_);
   }
   double total = 0.0;
   for (Track* track : tracks_) {

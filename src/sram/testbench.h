@@ -122,9 +122,15 @@ class CellTestbench {
       std::optional<models::MtjState> force_qb = std::nullopt);
 
   // Total static power drawn from all sources at the given mode/data.
-  // Throws std::runtime_error if the operating point cannot be solved.
+  // Throws spice::SolverError (with the DC solve diagnostics: worst node,
+  // iterations, recovery stage) if the operating point cannot be solved.
   enum class StaticMode { kNormal, kSleep, kShutdown };
   double static_power(StaticMode mode, bool data = true);
+
+  // Diagnostics of the most recent solve_dc() attempt (success or failure).
+  const spice::SolveDiagnostics& last_dc_diagnostics() const {
+    return last_dc_diag_;
+  }
 
   // Virtual-VDD voltage at a DC point (Fig. 4).
   double vvdd_at(const spice::DCSolution& sol) const;
@@ -159,6 +165,7 @@ class CellTestbench {
 
   double t_ = 0.0;
   std::vector<PhaseWindow> phases_;
+  spice::SolveDiagnostics last_dc_diag_;
 };
 
 }  // namespace nvsram::sram

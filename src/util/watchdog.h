@@ -1,0 +1,54 @@
+// Wall-clock watchdog: a deadline token handed to long-running work
+// (transient loops, sweep points) so a pathological operating point cannot
+// hang an entire run.  Expiry is reported by throwing WatchdogError, which
+// the sweep runner maps to a recorded timeout instead of a crash.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace nvsram::util {
+
+class WatchdogError : public std::runtime_error {
+ public:
+  WatchdogError(const std::string& what, double budget_seconds)
+      : std::runtime_error(what), budget_seconds_(budget_seconds) {}
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_ = 0.0;
+};
+
+// A started stopwatch with an optional budget.  budget <= 0 never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  double budget_seconds() const { return budget_; }
+  bool unlimited() const { return budget_ <= 0.0; }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  bool expired() const { return !unlimited() && elapsed_seconds() > budget_; }
+
+  // Throws WatchdogError("<what>: ...") when expired; cheap otherwise.
+  void check(const char* what) const {
+    if (expired()) {
+      throw WatchdogError(std::string(what) + ": wall-clock watchdog expired after " +
+                              std::to_string(budget_) + " s",
+                          budget_);
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  double budget_ = 0.0;
+};
+
+}  // namespace nvsram::util

@@ -1,16 +1,24 @@
 // Solver robustness: bistable DC convergence, warm starts, singular systems,
-// breakpoint handling, adaptive step behaviour, and event-driven control.
+// breakpoint handling, adaptive step behaviour, event-driven control, the
+// recovery ladder under injected faults, and non-finite guards.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+#include "linalg/sparse_lu.h"
 #include "models/paper_params.h"
 #include "spice/circuit.h"
 #include "spice/dc.h"
 #include "spice/elements.h"
+#include "spice/fault.h"
 #include "spice/fet_element.h"
 #include "spice/mtj_element.h"
 #include "spice/tran.h"
+#include "sram/testbench.h"
+#include "util/watchdog.h"
 
 namespace nvsram::spice {
 namespace {
@@ -207,6 +215,167 @@ TEST(TranRobustness, TrapAndBeAgreeOnSmoothCircuit) {
     const auto wave = tran.run();
     EXPECT_NEAR(wave.value_at("out", 5.9e-9), 1.0, 0.01);
   }
+}
+
+// ---- non-finite guards in the factorizations ----
+
+TEST(NonFiniteGuards, DenseLuReportsNanPivotColumn) {
+  linalg::DenseMatrix a(2, 2);
+  a(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  linalg::LuFactorization lu;
+  EXPECT_FALSE(lu.factorize(a));
+  EXPECT_TRUE(lu.non_finite());
+  EXPECT_EQ(lu.failed_pivot(), 0u);
+}
+
+TEST(NonFiniteGuards, DenseLuDistinguishesTinyPivotFromNan) {
+  linalg::DenseMatrix a(2, 2);  // all-zero: singular but finite
+  linalg::LuFactorization lu;
+  EXPECT_FALSE(lu.factorize(a));
+  EXPECT_FALSE(lu.non_finite());
+  EXPECT_NE(lu.failed_pivot(), linalg::kNoFailedPivot);
+}
+
+TEST(NonFiniteGuards, SparseLuReportsNanPivotColumn) {
+  linalg::SparseBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, std::numeric_limits<double>::infinity());
+  b.add(2, 2, 1.0);
+  b.add(1, 2, 0.5);
+  linalg::SparseLu lu;
+  EXPECT_FALSE(lu.factorize(linalg::CsrMatrix(b)));
+  EXPECT_TRUE(lu.non_finite());
+  EXPECT_NE(lu.failed_pivot(), linalg::kNoFailedPivot);
+}
+
+// ---- fault injection & the recovery ladder ----
+
+TEST(FaultInjection, PlanParserRoundTrip) {
+  const auto plan =
+      FaultPlan::parse("nan-stamp@3x2:dev=pu_q; singular@7 ;stall@0x-1");
+  ASSERT_EQ(plan.specs().size(), 3u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kNanStamp);
+  EXPECT_EQ(plan.specs()[0].at_solve, 3);
+  EXPECT_EQ(plan.specs()[0].count, 2);
+  EXPECT_EQ(plan.specs()[0].device, "pu_q");
+  EXPECT_TRUE(plan.specs()[0].covers(4));
+  EXPECT_FALSE(plan.specs()[0].covers(5));
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::kSingular);
+  EXPECT_EQ(plan.specs()[2].count, -1);
+  EXPECT_TRUE(plan.specs()[2].covers(1000));
+  EXPECT_THROW(FaultPlan::parse("melt@3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("stall@"), std::invalid_argument);
+}
+
+TEST(FaultInjection, NanStampOnFirstSolveRecoversViaLadder) {
+  // The plain DC solve is poisoned; the gmin-ramp rungs are clean solves,
+  // so the ladder must deliver the operating point anyway.
+  LatchFixture f;
+  f.ckt.set_fault_plan(FaultPlan::parse("nan-stamp@0"));
+  DCAnalysis dc(f.ckt);
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(dc.last_diagnostics().converged);
+  EXPECT_EQ(dc.last_diagnostics().stage, RecoveryStage::kGminRamp);
+}
+
+TEST(FaultInjection, PersistentNanStampAttributesCulpritDevice) {
+  LatchFixture f;
+  f.ckt.set_fault_plan(FaultPlan::parse("nan-stamp@0x-1:dev=pu_q"));
+  DCAnalysis dc(f.ckt);
+  EXPECT_FALSE(dc.solve().has_value());
+  const auto& diag = dc.last_diagnostics();
+  EXPECT_EQ(diag.stage, RecoveryStage::kExhausted);
+  EXPECT_EQ(diag.non_finite, NonFiniteSite::kStamp);
+  EXPECT_EQ(diag.non_finite_device, "pu_q");
+  EXPECT_TRUE(diag.injected);
+  // The human-readable line carries the same attribution.
+  EXPECT_NE(diag.describe().find("pu_q"), std::string::npos);
+}
+
+TEST(FaultInjection, PersistentSingularFaultReportsSingular) {
+  LatchFixture f;
+  f.ckt.set_fault_plan(FaultPlan::parse("singular@0x-1"));
+  DCAnalysis dc(f.ckt);
+  EXPECT_FALSE(dc.solve().has_value());
+  EXPECT_TRUE(dc.last_diagnostics().singular);
+  EXPECT_TRUE(dc.last_diagnostics().injected);
+}
+
+TEST(FaultInjection, TransientStallSalvagedByLadder) {
+  // Stall the first transient step and pin dt_min next to dt_max so
+  // dt-halving bottoms out immediately: the mid-step ladder must salvage
+  // the point and the run must still produce the right waveform.
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<VSource>("V1", n, kGround, SourceSpec::dc(1.0));
+  ckt.add<Resistor>("R1", n, ckt.node("out"), 1e3);
+  ckt.add<Capacitor>("C1", ckt.find_node("out"), kGround, 1e-12);
+  // Solve 0 is the DC init; solve 1 is the first timestep and solve 2 the
+  // ladder's plain retry — stall both so a gmin rung must do the salvage.
+  ckt.set_fault_plan(FaultPlan::parse("stall@1x2"));
+  TranOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt_initial = 1e-10;
+  opt.dt_min = 0.5e-10;
+  TranAnalysis tran(ckt, opt, {Probe::node_voltage(ckt.find_node("out"), "out")});
+  const auto wave = tran.run();
+  EXPECT_GE(tran.stats().recoveries(), 1u);
+  EXPECT_NEAR(wave.value_at("out", 19e-9), 1.0, 0.01);
+}
+
+TEST(FaultInjection, ExhaustedLadderThrowsSolverErrorWithDiagnostics) {
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<VSource>("V1", n, kGround, SourceSpec::dc(1.0));
+  ckt.add<Resistor>("R1", n, kGround, 1e3);
+  ckt.set_fault_plan(FaultPlan::parse("stall@0x-1"));
+  TranOptions opt;
+  opt.t_stop = 1e-9;
+  TranAnalysis tran(ckt, opt, {});
+  try {
+    (void)tran.run();
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.diagnostics().stage, RecoveryStage::kExhausted);
+    EXPECT_TRUE(e.diagnostics().injected);
+    EXPECT_FALSE(e.diagnostics().converged);
+    // what() embeds the describe() line.
+    EXPECT_NE(std::string(e.what()).find("recovery"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, TestbenchStaticPowerThrowsWithDiagnostics) {
+  sram::TestbenchOptions opts;
+  opts.ideal_bitlines = true;
+  sram::CellTestbench tb(sram::CellKind::k6T, PaperParams::table1(), opts);
+  tb.circuit().set_fault_plan(FaultPlan::parse("singular@0x-1"));
+  try {
+    (void)tb.static_power(sram::CellTestbench::StaticMode::kNormal);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_TRUE(e.diagnostics().singular);
+    EXPECT_TRUE(e.diagnostics().injected);
+  }
+}
+
+// ---- wall-clock watchdog ----
+
+TEST(TranRobustness, WatchdogAbortsLongTransient) {
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<VSource>("V1", n, kGround, SourceSpec::dc(1.0));
+  ckt.add<Resistor>("R1", n, ckt.node("out"), 1e3);
+  ckt.add<Capacitor>("C1", ckt.find_node("out"), kGround, 1e-12);
+  TranOptions opt;
+  opt.t_stop = 1.0;       // absurdly long simulated time
+  opt.dt_max = 1e-9;      // forces ~1e9 steps: can never finish in budget
+  opt.max_wall_seconds = 0.05;
+  TranAnalysis tran(ckt, opt, {});
+  EXPECT_THROW((void)tran.run(), util::WatchdogError);
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// SweepRunner resilience: skip-and-record, retries, watchdog timeouts,
+// checkpoint/resume byte-identity, staleness rejection, env-var drills.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.h"
+#include "runner/sweep_runner.h"
+#include "util/watchdog.h"
+
+namespace nvsram::runner {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Each test gets its own CSV path under the gtest temp dir.
+std::string tmp_csv(const std::string& tag) {
+  return ::testing::TempDir() + "sweep_" + tag + ".csv";
+}
+
+RunnerOptions base_options(const std::string& tag) {
+  RunnerOptions opts;
+  opts.csv_path = tmp_csv(tag);
+  opts.csv_columns = {"x", "y"};
+  return opts;
+}
+
+// y = x^2, one row per point.
+Rows square_point(const PointContext& pc) {
+  const double x = static_cast<double>(pc.index);
+  return {{x, x * x}};
+}
+
+TEST(SweepRunner, AllPointsSucceed) {
+  SweepRunner run("ok", base_options("ok"));
+  const auto s = run.run(5, square_point);
+  EXPECT_TRUE(s.all_ok());
+  EXPECT_EQ(s.completed, 5u);
+  EXPECT_EQ(s.failed, 0u);
+  ASSERT_EQ(s.rows.size(), 5u);
+  EXPECT_EQ(s.rows[3].front()[1], 9.0);
+  // CSV: header + 5 rows; empty manifest (header only).
+  EXPECT_EQ(slurp(s.csv_path).substr(0, 4), "x,y\n");
+  EXPECT_EQ(slurp(s.manifest_path), "point,status,attempts,error\n");
+  // Fully successful sweep leaves no checkpoint behind.
+  EXPECT_TRUE(checkpoint::load(run.options().checkpoint_path, "ok",
+                               {"x", "y"}, 5)
+                  .empty());
+}
+
+TEST(SweepRunner, FailingPointIsSkippedAndRecorded) {
+  auto opts = base_options("fail");
+  opts.max_attempts = 2;
+  SweepRunner run("fail", opts);
+  int attempts_at_2 = 0;
+  const auto s = run.run(5, [&](const PointContext& pc) -> Rows {
+    if (pc.index == 2) {
+      ++attempts_at_2;
+      throw std::runtime_error("synthetic, failure");
+    }
+    return square_point(pc);
+  });
+  EXPECT_FALSE(s.all_ok());
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(attempts_at_2, 2);  // retried once
+  EXPECT_FALSE(s.point_ok(2));
+  EXPECT_TRUE(s.rows[2].empty());
+  EXPECT_EQ(s.outcomes[2].status, PointStatus::kFailed);
+  // The CSV holds every other point, in order.
+  EXPECT_EQ(slurp(s.csv_path),
+            "x,y\n"
+            "0.000000e+00,0.000000e+00\n"
+            "1.000000e+00,1.000000e+00\n"
+            "3.000000e+00,9.000000e+00\n"
+            "4.000000e+00,1.600000e+01\n");
+  // Manifest lists the point; the comma inside the message is sanitized.
+  const std::string manifest = slurp(s.manifest_path);
+  EXPECT_NE(manifest.find("2,failed,2,synthetic; failure"), std::string::npos);
+}
+
+TEST(SweepRunner, RetrySucceedsAndCountsAsRecovered) {
+  auto opts = base_options("retry");
+  opts.max_attempts = 3;
+  SweepRunner run("retry", opts);
+  const auto s = run.run(3, [&](const PointContext& pc) -> Rows {
+    if (pc.index == 1 && pc.attempt == 0) throw std::runtime_error("flaky");
+    return square_point(pc);
+  });
+  EXPECT_TRUE(s.all_ok());
+  EXPECT_EQ(s.outcomes[1].status, PointStatus::kRecovered);
+  EXPECT_EQ(s.outcomes[1].attempts, 2);
+}
+
+TEST(SweepRunner, WatchdogTimeoutIsTerminalAndNotRetried) {
+  auto opts = base_options("timeout");
+  opts.max_attempts = 3;
+  opts.point_timeout_sec = 0.25;
+  SweepRunner run("timeout", opts);
+  int attempts_at_1 = 0;
+  const auto s = run.run(3, [&](const PointContext& pc) -> Rows {
+    EXPECT_EQ(pc.timeout_sec, 0.25);
+    if (pc.index == 1) {
+      ++attempts_at_1;
+      throw util::WatchdogError("test point", pc.timeout_sec);
+    }
+    return square_point(pc);
+  });
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(attempts_at_1, 1);  // timeouts are not retried
+  EXPECT_EQ(s.outcomes[1].status, PointStatus::kTimeout);
+  EXPECT_NE(slurp(s.manifest_path).find("1,timeout,1,"), std::string::npos);
+}
+
+TEST(SweepRunner, InterruptedRunResumesByteIdentical) {
+  // Reference: one uninterrupted run.
+  SweepRunner ref("resume", base_options("resume_ref"));
+  const auto s_ref = ref.run(6, square_point);
+
+  // Drill: stop after point 2, then rerun the same sweep to completion.
+  auto opts = base_options("resume");
+  opts.stop_after_point = 2;
+  const auto s1 = SweepRunner("resume", opts).run(6, square_point);
+  EXPECT_TRUE(s1.interrupted);
+  EXPECT_EQ(s1.completed, 3u);
+
+  auto opts2 = base_options("resume");
+  int fresh_calls = 0;
+  const auto s2 = SweepRunner("resume", opts2).run(6, [&](const PointContext& pc) {
+    ++fresh_calls;
+    EXPECT_GT(pc.index, 2u);  // completed points must not be recomputed
+    return square_point(pc);
+  });
+  EXPECT_TRUE(s2.all_ok());
+  EXPECT_EQ(s2.resumed, 3u);
+  EXPECT_EQ(fresh_calls, 3);
+  EXPECT_EQ(s2.outcomes[0].status, PointStatus::kResumed);
+  EXPECT_EQ(slurp(s2.csv_path), slurp(s_ref.csv_path));
+}
+
+TEST(SweepRunner, StaleCheckpointIsIgnored) {
+  // Complete half a sweep under one name, then reuse the checkpoint path
+  // for a different runner name and for different columns: both must
+  // recompute from scratch instead of splicing foreign rows in.
+  auto opts = base_options("stale");
+  opts.stop_after_point = 1;
+  (void)SweepRunner("stale", opts).run(4, square_point);
+
+  const std::string ckpt = opts.csv_path + ".ckpt";
+  // Sanity: the matching (name, columns) pair does load...
+  EXPECT_EQ(checkpoint::load(ckpt, "stale", {"x", "y"}, 4).size(), 2u);
+  // ...but a column mismatch is stale,
+  EXPECT_TRUE(
+      checkpoint::load(ckpt, "stale", {"different", "columns"}, 4).empty());
+  // and so is a name mismatch: the foreign runner recomputes every point.
+  auto opts2 = base_options("stale");
+  opts2.checkpoint_path = ckpt;
+  const auto s = SweepRunner("other-name", opts2).run(4, square_point);
+  EXPECT_EQ(s.resumed, 0u);
+}
+
+TEST(SweepRunner, CheckpointingCanBeDisabled) {
+  auto opts = base_options("nockpt");
+  opts.checkpoint = false;
+  opts.stop_after_point = 1;
+  (void)SweepRunner("nockpt", opts).run(4, square_point);
+
+  auto opts2 = base_options("nockpt");
+  opts2.checkpoint = false;
+  const auto s = SweepRunner("nockpt", opts2).run(4, square_point);
+  EXPECT_EQ(s.resumed, 0u);
+  EXPECT_EQ(s.completed, 4u);
+}
+
+TEST(SweepRunner, EnvDrillsAreScopedByRunnerName) {
+  ::setenv("NVSRAM_SWEEP_FAULT", "envtest:1", 1);
+  ::setenv("NVSRAM_SWEEP_RETRIES", "1", 1);
+  auto opts = base_options("env");
+  opts.apply_env("envtest");
+  EXPECT_EQ(opts.fault_point, 1);
+  EXPECT_EQ(opts.max_attempts, 1);
+  auto other = base_options("env2");
+  other.apply_env("otherrunner");  // fault scoped to "envtest" only
+  EXPECT_EQ(other.fault_point, -1);
+  ::unsetenv("NVSRAM_SWEEP_FAULT");
+  ::unsetenv("NVSRAM_SWEEP_RETRIES");
+
+  const auto s = SweepRunner("envtest", opts).run(3, square_point);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_FALSE(s.point_ok(1));
+}
+
+TEST(SweepRunner, RowWidthMismatchIsAHarnessError) {
+  SweepRunner run("width", base_options("width"));
+  EXPECT_THROW((void)run.run(1,
+                             [](const PointContext&) -> Rows {
+                               return {{1.0, 2.0, 3.0}};  // 3 values, 2 cols
+                             }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvsram::runner
