@@ -6,7 +6,9 @@
 // Each subfigure is one runner::SweepRunner sweep ("fig7a".."fig7c") over
 // the flattened (series, n_RW) grid: failed points are skipped and recorded
 // in bench_fig7*.csv.failures.csv, interrupted sweeps resume from their
-// checkpoint (see docs/ROBUSTNESS.md).
+// checkpoint, and independent points fan out over the worker pool
+// (NVSRAM_SWEEP_THREADS) with byte-identical output (see
+// docs/ROBUSTNESS.md).
 #include <iostream>
 #include <vector>
 
@@ -73,7 +75,12 @@ int main() {
       "NVPG E_cyc approaches OSR as n_RW grows; NOF rises monotonically above "
       "OSR; large domains briefly favour NOF at tiny n_RW");
 
-  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+  // The per-point watchdog budget (NVSRAM_SWEEP_TIMEOUT) also covers the
+  // up-front SPICE characterization the sweeps share.
+  runner::RunnerOptions probe;
+  probe.apply_env("fig7");
+  core::PowerGatingAnalyzer an(models::PaperParams::table1(),
+                               probe.point_timeout_sec);
 
   // ---- (a): t_SD = 0, t_SL in {0, 100 ns, 1 us} ----
   {

@@ -5,8 +5,10 @@
 //
 // Both sweeps execute through runner::SweepRunner ("fig8a" / "fig8b"), so
 // a failing point is skipped and recorded in bench_fig8{a,b}.csv.failures.csv
-// while the rest of the figure still comes out, and an interrupted run
-// resumes from its checkpoint (see docs/ROBUSTNESS.md).
+// while the rest of the figure still comes out, an interrupted run resumes
+// from its checkpoint, and independent points fan out over the worker pool
+// (NVSRAM_SWEEP_THREADS) with byte-identical output (see
+// docs/ROBUSTNESS.md).
 #include <array>
 #include <iostream>
 
@@ -24,7 +26,12 @@ int main() {
       "NVPG breaks even after several 10 us; NOF needs a much longer shutdown "
       "and the crossing is strongly n_RW dependent");
 
-  core::PowerGatingAnalyzer an(models::PaperParams::table1());
+  // The per-point watchdog budget (NVSRAM_SWEEP_TIMEOUT) also covers the
+  // up-front SPICE characterization both sweeps share.
+  runner::RunnerOptions probe;
+  probe.apply_env("fig8");
+  core::PowerGatingAnalyzer an(models::PaperParams::table1(),
+                               probe.point_timeout_sec);
   const auto t_grid = util::logspace(1e-6, 1e-1, 21);
 
   // ---- (a) absolute curves at n_RW = 100 ----

@@ -7,7 +7,9 @@
 // All four tables share one CSV, so the whole figure is one SweepRunner
 // sweep ("fig9") over the flattened (tech, store_free, N) grid; failed
 // points land in bench_fig9.csv.failures.csv and interrupted runs resume
-// from the checkpoint (see docs/ROBUSTNESS.md).
+// from the checkpoint (see docs/ROBUSTNESS.md).  Points are independent, so
+// the sweep fans out over the worker pool (NVSRAM_SWEEP_THREADS) with
+// byte-identical output at any pool size.
 #include <array>
 #include <iostream>
 #include <optional>
@@ -25,11 +27,19 @@ int main() {
       "BET grows with N and n_RW; store-free shutdown cuts it to a few us; "
       "the 1 GHz / low-Jc technology shortens BET further");
 
+  // Options first: the per-point watchdog budget also covers the SPICE
+  // characterization of the two technologies below.
+  runner::RunnerOptions opts = bench::sweep_options(
+      "fig9", "bench_fig9.csv",
+      {"tech", "store_free", "rows", "bet_nrw10", "bet_nrw100", "bet_nrw1000"});
+
   // Both technologies are characterized up front; sweep points only evaluate
   // the closed-form BET on top of them.
   const std::array<core::PowerGatingAnalyzer, 2> tech{
-      core::PowerGatingAnalyzer(models::PaperParams::table1()),
-      core::PowerGatingAnalyzer(models::PaperParams::table1_fast())};
+      core::PowerGatingAnalyzer(models::PaperParams::table1(),
+                                opts.point_timeout_sec),
+      core::PowerGatingAnalyzer(models::PaperParams::table1_fast(),
+                                opts.point_timeout_sec)};
 
   const std::vector<int> row_grid{32, 64, 128, 256, 512, 1024, 2048};
   // Series order matches the printed tables: (tech, store_free) major,
@@ -46,10 +56,7 @@ int main() {
       {1, true, "Fig. 9(b): fast technology, store-free shutdown"},
   }};
 
-  runner::SweepRunner run(
-      "fig9", bench::sweep_options("fig9", "bench_fig9.csv",
-                                   {"tech", "store_free", "rows", "bet_nrw10",
-                                    "bet_nrw100", "bet_nrw1000"}));
+  runner::SweepRunner run("fig9", opts);
   const auto summary = run.run(
       series.size() * row_grid.size(), [&](const runner::PointContext& pc) {
         const Series& s = series[pc.index / row_grid.size()];

@@ -6,8 +6,10 @@
 //
 // Each Vth-sigma point is hundreds of SPICE solves, so the sweep runs
 // through runner::SweepRunner ("montecarlo"): a diverging sample is skipped
-// and recorded instead of sinking the whole study, and NVSRAM_SWEEP_TIMEOUT
-// puts a wall-clock budget on every point (see docs/ROBUSTNESS.md).
+// and recorded instead of sinking the whole study, NVSRAM_SWEEP_TIMEOUT
+// puts a wall-clock budget on every point, and the four sigma points fan
+// out over the worker pool (each point builds its own MonteCarlo engines,
+// so the callback is thread-safe; see docs/ROBUSTNESS.md).
 #include <array>
 #include <iostream>
 

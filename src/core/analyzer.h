@@ -13,8 +13,13 @@ namespace nvsram::core {
 class PowerGatingAnalyzer {
  public:
   // Characterizes both cells with SPICE at construction (a few transients
-  // and DC solves; seconds of wall time).
-  explicit PowerGatingAnalyzer(models::PaperParams pp);
+  // and DC solves; seconds of wall time).  `max_wall_seconds` bounds the
+  // whole characterization phase (both cells share one wall-clock budget);
+  // expiry throws util::WatchdogError.  0 = unlimited.  Sweep points that
+  // build analyzers should pass their PointContext::timeout_sec here so the
+  // runner's watchdog covers the SPICE-characterization phase too.
+  explicit PowerGatingAnalyzer(models::PaperParams pp,
+                               double max_wall_seconds = 0.0);
 
   const models::PaperParams& paper() const { return pp_; }
   const EnergyModel& model() const { return *model_; }

@@ -1,10 +1,15 @@
 #include "runner/sweep_runner.h"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "util/csv.h"
 #include "util/log.h"
@@ -38,6 +43,19 @@ std::string sanitize(std::string text) {
   return text;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Busy-wait keeping the core occupied, so scaling drills measure genuine
+// CPU-bound parallelism rather than sleep overlap.
+void spin_for_ms(double ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (seconds_since(t0) * 1e3 < ms) {
+  }
+}
+
 }  // namespace
 
 const char* to_string(PointStatus status) {
@@ -67,6 +85,18 @@ void RunnerOptions::apply_env(const std::string& runner_name) {
     } catch (const std::exception&) {
     }
   }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_THREADS")) {
+    try {
+      threads = std::stoi(v);
+    } catch (const std::exception&) {
+    }
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_SPIN_MS")) {
+    try {
+      point_spin_ms = std::stod(v);
+    } catch (const std::exception&) {
+    }
+  }
   if (const int k = scoped_index(std::getenv("NVSRAM_SWEEP_FAULT"), runner_name);
       k >= 0) {
     fault_point = k;
@@ -81,6 +111,12 @@ std::string RunSummary::describe() const {
   std::ostringstream os;
   os << "[sweep " << name << ": " << completed << " point"
      << (completed == 1 ? "" : "s") << " completed";
+  if (wall_seconds > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_seconds);
+    os << " in " << buf << " s";
+  }
+  if (threads > 1) os << " on " << threads << " threads";
   if (resumed) os << " (" << resumed << " resumed from checkpoint)";
   if (failed) {
     os << ", " << failed << " FAILED";
@@ -104,6 +140,8 @@ SweepRunner::SweepRunner(std::string name, RunnerOptions options)
 }
 
 RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
+  const auto run_t0 = std::chrono::steady_clock::now();
+
   RunSummary summary;
   summary.name = name_;
   summary.csv_path = options_.csv_path;
@@ -117,28 +155,34 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
                             options_.csv_columns, n_points);
   }
 
+  // Pool size: 0 = auto; always capped by the fresh (non-resumed) points so
+  // a fully checkpointed sweep never spins up idle workers.
+  std::size_t threads = options_.threads > 0
+                            ? static_cast<std::size_t>(options_.threads)
+                            : static_cast<std::size_t>(
+                                  std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  const std::size_t fresh =
+      n_points > done.size() ? n_points - done.size() : 0;
+  threads = std::min(threads, std::max<std::size_t>(fresh, 1));
+  summary.threads = static_cast<int>(threads);
+
   util::CsvWriter csv(options_.csv_path, options_.csv_columns);
 
-  auto emit_rows = [&](const Rows& rows) {
-    for (const auto& row : rows) csv.row(row);
+  struct PointResult {
+    PointOutcome outcome;
+    Rows rows;
+    bool succeeded = false;
   };
 
-  for (std::size_t i = 0; i < n_points; ++i) {
-    PointOutcome& outcome = summary.outcomes[i];
+  // Runs one point's attempt loop.  Safe to call from any worker thread:
+  // everything it touches is per-point (the options are read-only).
+  auto solve_point = [&](std::size_t i, int worker) -> PointResult {
+    PointResult res;
+    PointOutcome& outcome = res.outcome;
     outcome.index = i;
-
-    if (const auto it = done.find(i); it != done.end()) {
-      outcome.status = PointStatus::kResumed;
-      outcome.attempts = 0;
-      summary.rows[i] = it->second;
-      emit_rows(it->second);
-      ++summary.resumed;
-      ++summary.completed;
-      continue;
-    }
-
     const auto t0 = std::chrono::steady_clock::now();
-    bool succeeded = false;
+    if (options_.point_spin_ms > 0.0) spin_for_ms(options_.point_spin_ms);
     for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
       outcome.attempts = attempt + 1;
       try {
@@ -149,13 +193,14 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
         PointContext ctx;
         ctx.index = i;
         ctx.attempt = attempt;
+        ctx.max_attempts = options_.max_attempts;
         ctx.timeout_sec = options_.point_timeout_sec;
-        Rows rows = fn(ctx);
-        summary.rows[i] = std::move(rows);
+        ctx.worker = worker;
+        res.rows = fn(ctx);
         outcome.status =
             attempt > 0 ? PointStatus::kRecovered : PointStatus::kOk;
         outcome.error.clear();
-        succeeded = true;
+        res.succeeded = true;
         break;
       } catch (const util::WatchdogError& e) {
         outcome.status = PointStatus::kTimeout;
@@ -164,26 +209,37 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
       } catch (const std::exception& e) {
         outcome.status = PointStatus::kFailed;
         outcome.error = e.what();
+      } catch (...) {
+        outcome.status = PointStatus::kFailed;
+        outcome.error = "non-standard exception";
       }
     }
-    outcome.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    outcome.seconds = seconds_since(t0);
+    return res;
+  };
 
+  // Commits one freshly computed point.  Runs ONLY on the calling thread and
+  // strictly in point order — this is what keeps CSV/checkpoint/manifest
+  // bytes identical to a serial run.  Returns false to stop the sweep
+  // (harness error or the stop drill).
+  std::string harness_error;
+  auto commit = [&](std::size_t i, PointResult res) -> bool {
     // Harness-level contract violation, not a point failure: a malformed
     // row would corrupt the CSV and the checkpoint, so abort the sweep.
-    if (succeeded) {
-      for (const auto& row : summary.rows[i]) {
+    if (res.succeeded) {
+      for (const auto& row : res.rows) {
         if (row.size() != options_.csv_columns.size()) {
-          throw std::runtime_error("SweepRunner " + name_ +
-                                   ": row width mismatch at point " +
-                                   std::to_string(i));
+          harness_error = "SweepRunner " + name_ +
+                          ": row width mismatch at point " + std::to_string(i);
+          return false;
         }
       }
     }
-
-    if (succeeded) {
-      emit_rows(summary.rows[i]);
+    summary.outcomes[i] = std::move(res.outcome);
+    const PointOutcome& outcome = summary.outcomes[i];
+    if (res.succeeded) {
+      summary.rows[i] = std::move(res.rows);
+      for (const auto& row : summary.rows[i]) csv.row(row);
       ++summary.completed;
       done.emplace(i, summary.rows[i]);
       if (options_.checkpoint) {
@@ -205,9 +261,105 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
     }
     if (static_cast<int>(i) == options_.stop_after_point) {
       summary.interrupted = true;
-      return summary;
+      return false;
     }
+    return true;
+  };
+
+  // Emits a checkpointed point (no recomputation, no drills — matching the
+  // serial-era semantics where resumed points skip the drill checks).
+  auto commit_resumed = [&](std::size_t i, const Rows& rows) {
+    PointOutcome& outcome = summary.outcomes[i];
+    outcome.index = i;
+    outcome.status = PointStatus::kResumed;
+    outcome.attempts = 0;
+    summary.rows[i] = rows;
+    for (const auto& row : rows) csv.row(row);
+    ++summary.resumed;
+    ++summary.completed;
+  };
+
+  bool stopped = false;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n_points && !stopped; ++i) {
+      if (const auto it = done.find(i); it != done.end()) {
+        commit_resumed(i, it->second);
+        continue;
+      }
+      if (!commit(i, solve_point(i, /*worker=*/0))) stopped = true;
+    }
+  } else {
+    // Worker pool with an in-order reorder buffer: workers pull fresh point
+    // indices from an atomic cursor and park results in `ready`; the calling
+    // thread commits them strictly in point order.  Workers pause before
+    // starting a new point when the buffer outruns the writer (bounded
+    // memory even when point costs vary wildly).
+    std::vector<std::size_t> pending;
+    pending.reserve(fresh);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      if (done.find(i) == done.end()) pending.push_back(i);
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::size_t, PointResult> ready;  // guarded by mu
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> stop{false};
+    const std::size_t ready_cap = threads * 4 + 8;
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        for (;;) {
+          {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] {
+              return ready.size() < ready_cap ||
+                     stop.load(std::memory_order_relaxed);
+            });
+          }
+          if (stop.load(std::memory_order_relaxed)) return;
+          const std::size_t k =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (k >= pending.size()) return;
+          PointResult res = solve_point(pending[k], static_cast<int>(w));
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ready.emplace(pending[k], std::move(res));
+          }
+          cv.notify_all();
+        }
+      });
+    }
+
+    for (std::size_t i = 0; i < n_points && !stopped; ++i) {
+      if (const auto it = done.find(i); it != done.end()) {
+        commit_resumed(i, it->second);
+        continue;
+      }
+      PointResult res;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return ready.find(i) != ready.end(); });
+        auto it = ready.find(i);
+        res = std::move(it->second);
+        ready.erase(it);
+      }
+      cv.notify_all();  // free a backpressure slot
+      if (!commit(i, std::move(res))) stopped = true;
+    }
+
+    // Drain: in-flight points finish and are discarded uncommitted, so the
+    // checkpoint holds exactly the committed prefix (as a serial run would).
+    stop.store(true, std::memory_order_relaxed);
+    cv.notify_all();
+    for (auto& t : pool) t.join();
   }
+
+  if (!harness_error.empty()) throw std::runtime_error(harness_error);
+  summary.wall_seconds = seconds_since(run_t0);
+  if (summary.interrupted) return summary;
 
   // Failure manifest: written on every completed run, even when empty, so
   // downstream tooling can rely on its existence.

@@ -11,9 +11,15 @@
 //   * wall-clock watchdog: the per-point budget is handed to the callback
 //     (wire it into TranOptions::max_wall_seconds); a util::WatchdogError
 //     is recorded as a timeout, not a crash.
-//   * checkpoint/resume: after every completed point the checkpoint file is
+//   * checkpoint/resume: after every committed point the checkpoint file is
 //     atomically rewritten, so an interrupted or crashed sweep resumes from
-//     the last completed point and reproduces byte-identical CSV output.
+//     the last committed point and reproduces byte-identical CSV output.
+//   * worker pool: independent points fan out over RunnerOptions::threads
+//     workers while the calling thread drains completed results through an
+//     in-order reorder buffer.  Because commits are strictly sequential in
+//     point order, the CSV, the checkpoint, and the failure manifest are
+//     byte-identical to a serial run at any pool size, and the kill/resume
+//     drills keep working mid-parallel-run (see docs/ROBUSTNESS.md).
 //
 // Fault/kill hooks (NVSRAM_SWEEP_FAULT / NVSRAM_SWEEP_KILL) let tests and
 // CI drill the failure paths on real benches; see RunnerOptions::apply_env.
@@ -47,6 +53,18 @@ struct RunnerOptions {
   // tolerances based on PointContext::attempt).  Timeouts are not retried.
   int max_attempts = 2;
 
+  // Worker-pool size: 0 = one worker per hardware thread, 1 = serial
+  // in-process execution, N > 1 = fixed pool of N workers.  The pool is
+  // capped at the number of points that actually need computing.  The
+  // callback must be safe to invoke concurrently from several threads when
+  // threads != 1 (per-point circuits / analyses; no shared mutable state).
+  int threads = 0;
+
+  // Synthetic per-point busy-work in milliseconds (0 = none).  Lets CI and
+  // tests measure the harness's parallel scaling on benches whose real
+  // points are too cheap to time (NVSRAM_SWEEP_SPIN_MS).
+  double point_spin_ms = 0.0;
+
   // ---- failure drills (tests / CI smoke) ----
   int fault_point = -1;       // this point index fails on every attempt
   int kill_after_point = -1;  // _Exit(3) right after checkpointing this point
@@ -58,6 +76,8 @@ struct RunnerOptions {
   //   NVSRAM_SWEEP_KILL=K | name:K     simulate a crash after point K
   //   NVSRAM_SWEEP_TIMEOUT=SECONDS     per-point watchdog budget
   //   NVSRAM_SWEEP_RETRIES=N           attempts per point
+  //   NVSRAM_SWEEP_THREADS=N           worker-pool size (0 = auto, 1 = serial)
+  //   NVSRAM_SWEEP_SPIN_MS=MS          synthetic per-point load (scaling drills)
   // "name:K" scopes the drill to the runner with that name.
   void apply_env(const std::string& runner_name);
 };
@@ -65,7 +85,9 @@ struct RunnerOptions {
 struct PointContext {
   std::size_t index = 0;
   int attempt = 0;          // 0 on the first try; >0 => relax and retry
+  int max_attempts = 1;     // total attempt budget for this point
   double timeout_sec = 0.0; // 0 = unlimited
+  int worker = 0;           // worker slot executing this point (0 in serial)
 };
 
 enum class PointStatus { kOk, kRecovered, kResumed, kFailed, kTimeout };
@@ -95,6 +117,8 @@ struct RunSummary {
   std::size_t failed = 0;   // terminal failures, incl. timeouts
   std::size_t timeouts = 0;
   bool interrupted = false;  // stop_after_point fired
+  int threads = 1;           // worker-pool size actually used
+  double wall_seconds = 0.0; // wall-clock time of the whole sweep
 
   bool all_ok() const { return failed == 0 && !interrupted; }
   bool point_ok(std::size_t index) const {
@@ -107,7 +131,9 @@ struct RunSummary {
 class SweepRunner {
  public:
   // The callback computes one sweep point and returns its CSV rows (each
-  // row csv_columns.size() wide).  Throw to report failure.
+  // row csv_columns.size() wide).  Throw to report failure.  With
+  // threads != 1 the callback runs concurrently on worker threads and must
+  // only touch per-point state (results are still committed in order).
   using PointFn = std::function<Rows(const PointContext&)>;
 
   SweepRunner(std::string name, RunnerOptions options);
@@ -115,9 +141,11 @@ class SweepRunner {
   const std::string& name() const { return name_; }
   const RunnerOptions& options() const { return options_; }
 
-  // Runs points 0..n_points-1 in order.  Never throws for per-point
-  // failures (they are recorded); throws std::runtime_error only for
-  // harness-level problems (unwritable CSV/checkpoint, bad row widths).
+  // Runs points 0..n_points-1; results are committed (CSV, checkpoint,
+  // manifest accounting) strictly in point order regardless of the pool
+  // size.  Never throws for per-point failures (they are recorded); throws
+  // std::runtime_error only for harness-level problems (unwritable
+  // CSV/checkpoint, bad row widths).
   RunSummary run(std::size_t n_points, const PointFn& fn);
 
  private:

@@ -33,9 +33,11 @@ std::optional<DCSolution> DCAnalysis::solve(const linalg::Vector* initial_guess)
   RecoveryOptions recovery = options_.recovery;
   recovery.source_ramp_from_zero = true;
 
+  const util::Deadline deadline(options_.max_wall_seconds);
   const NewtonResult r = solve_newton_with_recovery(
       circuit_, layout_, x, /*time=*/0.0, /*dt=*/0.0, /*dc=*/true,
-      IntegrationMethod::kBackwardEuler, options_.newton, recovery);
+      IntegrationMethod::kBackwardEuler, options_.newton, recovery,
+      deadline.unlimited() ? nullptr : &deadline);
   last_diag_ = r.diagnostics;
   if (!r.converged) {
     util::log_warn() << "DC: no operating point: " << last_diag_.describe();

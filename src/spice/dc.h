@@ -17,6 +17,11 @@ struct DCOptions {
   // Escalation ladder used when the plain solve fails (gmin stepping, then
   // source stepping from zero) — see RecoveryOptions in spice/newton.h.
   RecoveryOptions recovery;
+  // Wall-clock watchdog for the whole solve incl. the recovery ladder:
+  // solve() throws util::WatchdogError once this many seconds are consumed.
+  // 0 = unlimited.  Mirrors TranOptions::max_wall_seconds so DC-heavy
+  // phases (cell characterization, bias sweeps) honor a deadline too.
+  double max_wall_seconds = 0.0;
 };
 
 // Result of a DC solve: the unknown vector with its layout kept alive.
@@ -43,7 +48,8 @@ class DCAnalysis {
   // Solve the operating point.  `initial_guess` (optional) warm-starts
   // Newton.  Returns nullopt if every strategy fails; last_diagnostics()
   // then explains the failure (and on success records how hard the ladder
-  // had to work).
+  // had to work).  Throws util::WatchdogError when
+  // DCOptions::max_wall_seconds expires mid-ladder.
   std::optional<DCSolution> solve(const linalg::Vector* initial_guess = nullptr);
 
   const SolveDiagnostics& last_diagnostics() const { return last_diag_; }

@@ -198,11 +198,13 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
                                         double dt, bool dc,
                                         IntegrationMethod method,
                                         const NewtonOptions& opts,
-                                        const RecoveryOptions& recovery) {
+                                        const RecoveryOptions& recovery,
+                                        const util::Deadline* deadline) {
   const linalg::Vector x0 = x;
 
   NewtonResult plain = solve_newton(circuit, layout, x, time, dt, dc, method, opts);
   if (plain.converged) return plain;
+  if (deadline) deadline->check("recovery ladder");
 
   // ---- stage 1: gmin ramp ----
   // Solve a heavily loaded (gmin_start to ground everywhere) system, then
@@ -214,6 +216,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
     NewtonResult rung;
     for (double g = recovery.gmin_start; g >= recovery.gmin_stop * 0.99;
          g /= recovery.gmin_factor) {
+      if (deadline) deadline->check("recovery ladder (gmin ramp)");
       rung_opts.gmin = std::max(g, opts.gmin);
       rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
                           rung_opts);
@@ -247,6 +250,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
     bool ramp_ok = true;
     NewtonResult rung;
     for (int s = 1; s <= recovery.source_steps; ++s) {
+      if (deadline) deadline->check("recovery ladder (source ramp)");
       ramp_opts.source_scale = opts.source_scale * static_cast<double>(s) /
                                static_cast<double>(recovery.source_steps);
       rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,

@@ -15,6 +15,7 @@
 #include "spice/circuit.h"
 #include "spice/device.h"
 #include "spice/diagnostics.h"
+#include "util/watchdog.h"
 
 namespace nvsram::spice {
 
@@ -69,12 +70,19 @@ NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
 // failure the stage is kExhausted and the diagnostics describe the
 // original (unrecovered) failure.  Iteration counts accumulate across all
 // attempted rungs.
+//
+// `deadline` (optional) bounds the ladder's wall-clock time: it is checked
+// between rungs/ramp steps and throws util::WatchdogError on expiry, so a
+// pathological operating point cannot stall a characterization or sweep
+// point indefinitely (DCOptions::max_wall_seconds and
+// TranOptions::max_wall_seconds feed it).
 NewtonResult solve_newton_with_recovery(Circuit& circuit,
                                         const MnaLayout& layout,
                                         linalg::Vector& x, double time,
                                         double dt, bool dc,
                                         IntegrationMethod method,
                                         const NewtonOptions& opts,
-                                        const RecoveryOptions& recovery);
+                                        const RecoveryOptions& recovery,
+                                        const util::Deadline* deadline = nullptr);
 
 }  // namespace nvsram::spice

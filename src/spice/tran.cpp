@@ -151,7 +151,9 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
         x_new = x;
         nr = solve_newton_with_recovery(circuit_, layout_, x_new, t + dt_try,
                                         dt_try, /*dc=*/false, options_.method,
-                                        options_.newton, recovery);
+                                        options_.newton, recovery,
+                                        watchdog.unlimited() ? nullptr
+                                                             : &watchdog);
         stats_.total_newton_iterations +=
             static_cast<std::size_t>(nr.iterations);
       }

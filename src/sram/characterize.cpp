@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/units.h"
+#include "util/watchdog.h"
 
 namespace nvsram::sram {
 
@@ -27,14 +28,27 @@ std::string CellEnergetics::describe() const {
   return os.str();
 }
 
-CellCharacterizer::CellCharacterizer(models::PaperParams pp) : pp_(pp) {}
+CellCharacterizer::CellCharacterizer(models::PaperParams pp,
+                                     double max_wall_seconds)
+    : pp_(pp), max_wall_seconds_(max_wall_seconds) {}
 
 CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
+  // One wall-clock budget spans the whole characterization.  Each testbench
+  // analysis below is handed whatever budget remains, so a stuck solve in
+  // any step throws util::WatchdogError instead of outliving the phase.
+  const util::Deadline phase(max_wall_seconds_);
+  auto remaining = [&phase](const char* step) {
+    phase.check(step);
+    return phase.remaining_seconds();
+  };
+
   CellEnergetics out;
   out.t_clk = pp_.clock_period();
 
   // ---- transient script: writes, reads, (store, shutdown, restore) ----
-  CellTestbench tb(kind, pp_);
+  CellTestbench tb(kind, pp_,
+                   TestbenchOptions{.max_wall_seconds =
+                                        remaining("characterize: op script")});
   tb.op_write(true);
   tb.op_write(false);
   tb.op_write(true);   // measured write (steady-state bitline toggling)
@@ -82,7 +96,9 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
 
   // ---- sleep transition energy (separate short script) ----
   {
-    CellTestbench tbs(kind, pp_);
+    CellTestbench tbs(kind, pp_,
+                      TestbenchOptions{
+                          .max_wall_seconds = remaining("characterize: sleep")});
     tbs.op_write(true);
     tbs.op_idle(2e-9);
     tbs.op_sleep(60e-9);
@@ -91,13 +107,19 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     const auto& slp = rs.phase("sleep");
     const double e_total = rs.energy(slp);
     // Subtract the static retention part to isolate the transition cost.
-    CellTestbench tbd(kind, pp_, TestbenchOptions{.ideal_bitlines = true});
+    CellTestbench tbd(kind, pp_,
+                      TestbenchOptions{
+                          .ideal_bitlines = true,
+                          .max_wall_seconds = remaining("characterize: sleep")});
     const double p_slp = tbd.static_power(CellTestbench::StaticMode::kSleep);
     out.e_sleep_transition = std::max(0.0, e_total - p_slp * slp.duration());
   }
 
   // ---- static powers (DC, ideal bitlines) ----
-  CellTestbench tbd(kind, pp_, TestbenchOptions{.ideal_bitlines = true});
+  CellTestbench tbd(
+      kind, pp_,
+      TestbenchOptions{.ideal_bitlines = true,
+                       .max_wall_seconds = remaining("characterize: static")});
   out.p_static_normal =
       0.5 * (tbd.static_power(CellTestbench::StaticMode::kNormal, true) +
              tbd.static_power(CellTestbench::StaticMode::kNormal, false));

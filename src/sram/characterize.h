@@ -40,7 +40,13 @@ struct CellEnergetics {
 
 class CellCharacterizer {
  public:
-  explicit CellCharacterizer(models::PaperParams pp);
+  // `max_wall_seconds` bounds one characterize() call end to end (the
+  // transient script, the sleep-transition script, and the DC static-power
+  // solves share the budget); expiry throws util::WatchdogError.  0 =
+  // unlimited.  Sweep points that characterize cells should pass their
+  // PointContext::timeout_sec here.
+  explicit CellCharacterizer(models::PaperParams pp,
+                             double max_wall_seconds = 0.0);
 
   // Runs the characterization script for a 6T or NV-SRAM cell.
   CellEnergetics characterize(CellKind kind) const;
@@ -76,6 +82,7 @@ class CellCharacterizer {
 
  private:
   models::PaperParams pp_;
+  double max_wall_seconds_ = 0.0;
 };
 
 }  // namespace nvsram::sram

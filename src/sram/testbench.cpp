@@ -310,6 +310,7 @@ CellTestbench::RunResult CellTestbench::run() {
                     ? opts_.dt_max
                     : std::clamp(topt.t_stop / 1000.0, 50e-12, 5e-9);
   topt.method = opts_.method;
+  topt.max_wall_seconds = opts_.max_wall_seconds;
 
   spice::TranAnalysis tran(circuit_, topt, probes);
   RunResult out{tran.run(), phases_, source_names, tran.stats()};
@@ -438,7 +439,9 @@ std::optional<spice::DCSolution> CellTestbench::solve_dc(
         data ? models::MtjState::kParallel : models::MtjState::kAntiparallel));
   }
   const linalg::Vector guess = dc_guess(bias, data);
-  spice::DCAnalysis dc(circuit_);
+  spice::DCOptions dopt;
+  dopt.max_wall_seconds = opts_.max_wall_seconds;
+  spice::DCAnalysis dc(circuit_, dopt);
   auto sol = dc.solve(&guess);
   last_dc_diag_ = dc.last_diagnostics();
   return sol;

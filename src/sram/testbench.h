@@ -40,6 +40,12 @@ struct TestbenchOptions {
   // Transient knobs (t_stop is derived from the schedule).
   double dt_max = 0.0;           // 0 => auto
   spice::IntegrationMethod method = spice::IntegrationMethod::kTrapezoidal;
+  // Wall-clock budget per analysis (run() transient and each DC solve);
+  // expiry throws util::WatchdogError.  0 = unlimited.  Characterization
+  // phases derive this from their remaining phase budget (see
+  // sram/characterize.h), which is how PointContext::timeout_sec reaches
+  // the SPICE substrate.
+  double max_wall_seconds = 0.0;
   // Monte-Carlo mismatch hooks, applied to the cell's own devices (not the
   // periphery): see sram/cell.h.
   FetVary fet_vary;

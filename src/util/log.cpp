@@ -1,11 +1,15 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace nvsram::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The threshold is read from sweep worker threads (parallel SweepRunner
+// points log their own warnings), so it is atomic; writes are still expected
+// only from single-threaded setup code.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +23,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // One fprintf per line: POSIX stdio locks the stream, so concurrent
+  // worker-thread messages interleave by line, never mid-line.
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -9,8 +9,9 @@ namespace nvsram::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Global threshold (process-wide; not thread-safe by design — the simulator
-// is single-threaded per analysis).
+// Global threshold (process-wide; atomic, so parallel sweep workers can log
+// while the main thread reads/sets the level — each analysis itself remains
+// single-threaded).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -4,6 +4,7 @@
 // the sweep runner maps to a recorded timeout instead of a crash.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -35,6 +36,14 @@ class Deadline {
         .count();
   }
   bool expired() const { return !unlimited() && elapsed_seconds() > budget_; }
+
+  // Budget left for handing down to sub-phases; 0 when unlimited (callers
+  // treat 0 as "no limit", matching the Deadline constructor).  Clamped to a
+  // tiny positive value when (nearly) expired so a derived Deadline still
+  // expires rather than becoming unlimited.
+  double remaining_seconds() const {
+    return unlimited() ? 0.0 : std::max(budget_ - elapsed_seconds(), 1e-9);
+  }
 
   // Throws WatchdogError("<what>: ...") when expired; cheap otherwise.
   void check(const char* what) const {

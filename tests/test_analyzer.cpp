@@ -4,6 +4,7 @@
 
 #include "core/analyzer.h"
 #include "util/stats.h"
+#include "util/watchdog.h"
 
 namespace nvsram {
 namespace {
@@ -142,6 +143,21 @@ TEST(AnalyzerFast, Fig9bFastTechnologyShrinksBet) {
   const auto bet_fast = fast.model().break_even_time(Architecture::kNVPG, base);
   ASSERT_TRUE(bet_slow && bet_fast);
   EXPECT_LT(*bet_fast, 0.6 * *bet_slow);
+}
+
+TEST(AnalyzerWatchdog, TinyBudgetExpiresInsideCharacterization) {
+  // The characterization takes a few hundred ms; a 10 ms budget must fire
+  // inside the SPICE phase (transient steps / ladder rungs check the
+  // deadline) instead of letting construction run to completion.
+  EXPECT_THROW(PowerGatingAnalyzer(models::PaperParams::table1(), 0.01),
+               util::WatchdogError);
+}
+
+TEST(AnalyzerWatchdog, UnlimitedBudgetStillCharacterizes) {
+  // 0 = unlimited is the default path every other test exercises; a large
+  // finite budget must behave identically.
+  PowerGatingAnalyzer an(models::PaperParams::table1(), 300.0);
+  EXPECT_TRUE(an.cell_nv().store_verified);
 }
 
 }  // namespace

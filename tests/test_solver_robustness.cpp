@@ -17,6 +17,7 @@
 #include "spice/fet_element.h"
 #include "spice/mtj_element.h"
 #include "spice/tran.h"
+#include "sram/array.h"
 #include "sram/testbench.h"
 #include "util/watchdog.h"
 
@@ -360,6 +361,95 @@ TEST(FaultInjection, TestbenchStaticPowerThrowsWithDiagnostics) {
     EXPECT_TRUE(e.diagnostics().singular);
     EXPECT_TRUE(e.diagnostics().injected);
   }
+}
+
+// ---- array-sized drills: the sparse factorization path under faults ----
+//
+// Above linalg::kDenseCutoff unknowns solve_newton switches to SparseLu, so
+// these drills exercise the sparse pivot guards end-to-end: a real power
+// domain netlist, an injected fault, and the diagnostics that surface.
+
+// A 6x6 NV array plus its drivers comfortably exceeds the dense cutoff.
+sram::ArrayTestbench make_array_bench() {
+  sram::ArrayOptions opts;
+  opts.rows = 6;
+  opts.cols = 6;
+  opts.nonvolatile = true;
+  return sram::ArrayTestbench(PaperParams::table1(), opts);
+}
+
+TEST(ArrayScaleFaults, ArrayCircuitUsesTheSparsePath) {
+  auto tb = make_array_bench();
+  const MnaLayout layout = tb.circuit().build_layout();
+  ASSERT_GT(layout.unknown_count(), linalg::kDenseCutoff);
+  DCAnalysis dc(tb.circuit());
+  EXPECT_TRUE(dc.solve().has_value());
+}
+
+TEST(ArrayScaleFaults, NanStampGuardFiresAtArrayScale) {
+  auto tb = make_array_bench();
+  tb.circuit().set_fault_plan(FaultPlan::parse("nan-stamp@0x-1"));
+  DCAnalysis dc(tb.circuit());
+  EXPECT_FALSE(dc.solve().has_value());
+  const auto& diag = dc.last_diagnostics();
+  EXPECT_EQ(diag.stage, RecoveryStage::kExhausted);
+  EXPECT_EQ(diag.non_finite, NonFiniteSite::kStamp);
+  EXPECT_TRUE(diag.injected);
+}
+
+TEST(ArrayScaleFaults, SingularGuardFiresAtArrayScale) {
+  auto tb = make_array_bench();
+  tb.circuit().set_fault_plan(FaultPlan::parse("singular@0x-1"));
+  DCAnalysis dc(tb.circuit());
+  EXPECT_FALSE(dc.solve().has_value());
+  EXPECT_TRUE(dc.last_diagnostics().singular);
+  EXPECT_TRUE(dc.last_diagnostics().injected);
+}
+
+TEST(ArrayScaleFaults, StalledFirstSolveRecoversViaLadderAtArrayScale) {
+  auto tb = make_array_bench();
+  tb.circuit().set_fault_plan(FaultPlan::parse("stall@0"));
+  DCAnalysis dc(tb.circuit());
+  const auto sol = dc.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(dc.last_diagnostics().converged);
+  EXPECT_NE(dc.last_diagnostics().stage, RecoveryStage::kNone);
+}
+
+TEST(NonFiniteGuards, SparseNanPivotCaughtAtArrayScale) {
+  // Direct factorization-level check at a size the sweep arrays reach: a
+  // well-conditioned tridiagonal system with one NaN planted mid-matrix.
+  const std::size_t n = 2 * linalg::kDenseCutoff;
+  linalg::SparseBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, i == 123 ? std::numeric_limits<double>::quiet_NaN() : 4.0);
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  linalg::SparseLu lu;
+  EXPECT_FALSE(lu.factorize(linalg::CsrMatrix(b)));
+  EXPECT_TRUE(lu.non_finite());
+  EXPECT_NE(lu.failed_pivot(), linalg::kNoFailedPivot);
+}
+
+TEST(NonFiniteGuards, SparseSingularPivotCaughtAtArrayScale) {
+  // Same size, finite entries, one fully decoupled zero row: singular, and
+  // reported as a failed pivot rather than non-finite.
+  const std::size_t n = 2 * linalg::kDenseCutoff;
+  linalg::SparseBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, i == 123 ? 0.0 : 4.0);
+    if (i + 1 < n && i != 123 && i + 1 != 123) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  linalg::SparseLu lu;
+  EXPECT_FALSE(lu.factorize(linalg::CsrMatrix(b)));
+  EXPECT_FALSE(lu.non_finite());
+  EXPECT_NE(lu.failed_pivot(), linalg::kNoFailedPivot);
 }
 
 // ---- wall-clock watchdog ----

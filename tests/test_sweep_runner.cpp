@@ -1,7 +1,11 @@
 // SweepRunner resilience: skip-and-record, retries, watchdog timeouts,
 // checkpoint/resume byte-identity, staleness rejection, env-var drills.
+//
+// The default RunnerOptions run the worker pool (threads = 0 = auto), so
+// these callbacks execute concurrently: captured counters are atomic.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -61,7 +65,7 @@ TEST(SweepRunner, FailingPointIsSkippedAndRecorded) {
   auto opts = base_options("fail");
   opts.max_attempts = 2;
   SweepRunner run("fail", opts);
-  int attempts_at_2 = 0;
+  std::atomic<int> attempts_at_2{0};
   const auto s = run.run(5, [&](const PointContext& pc) -> Rows {
     if (pc.index == 2) {
       ++attempts_at_2;
@@ -72,7 +76,7 @@ TEST(SweepRunner, FailingPointIsSkippedAndRecorded) {
   EXPECT_FALSE(s.all_ok());
   EXPECT_EQ(s.failed, 1u);
   EXPECT_EQ(s.completed, 4u);
-  EXPECT_EQ(attempts_at_2, 2);  // retried once
+  EXPECT_EQ(attempts_at_2.load(), 2);  // retried once
   EXPECT_FALSE(s.point_ok(2));
   EXPECT_TRUE(s.rows[2].empty());
   EXPECT_EQ(s.outcomes[2].status, PointStatus::kFailed);
@@ -106,7 +110,7 @@ TEST(SweepRunner, WatchdogTimeoutIsTerminalAndNotRetried) {
   opts.max_attempts = 3;
   opts.point_timeout_sec = 0.25;
   SweepRunner run("timeout", opts);
-  int attempts_at_1 = 0;
+  std::atomic<int> attempts_at_1{0};
   const auto s = run.run(3, [&](const PointContext& pc) -> Rows {
     EXPECT_EQ(pc.timeout_sec, 0.25);
     if (pc.index == 1) {
@@ -117,7 +121,7 @@ TEST(SweepRunner, WatchdogTimeoutIsTerminalAndNotRetried) {
   });
   EXPECT_EQ(s.timeouts, 1u);
   EXPECT_EQ(s.failed, 1u);
-  EXPECT_EQ(attempts_at_1, 1);  // timeouts are not retried
+  EXPECT_EQ(attempts_at_1.load(), 1);  // timeouts are not retried
   EXPECT_EQ(s.outcomes[1].status, PointStatus::kTimeout);
   EXPECT_NE(slurp(s.manifest_path).find("1,timeout,1,"), std::string::npos);
 }
@@ -135,7 +139,7 @@ TEST(SweepRunner, InterruptedRunResumesByteIdentical) {
   EXPECT_EQ(s1.completed, 3u);
 
   auto opts2 = base_options("resume");
-  int fresh_calls = 0;
+  std::atomic<int> fresh_calls{0};
   const auto s2 = SweepRunner("resume", opts2).run(6, [&](const PointContext& pc) {
     ++fresh_calls;
     EXPECT_GT(pc.index, 2u);  // completed points must not be recomputed
@@ -143,7 +147,7 @@ TEST(SweepRunner, InterruptedRunResumesByteIdentical) {
   });
   EXPECT_TRUE(s2.all_ok());
   EXPECT_EQ(s2.resumed, 3u);
-  EXPECT_EQ(fresh_calls, 3);
+  EXPECT_EQ(fresh_calls.load(), 3);
   EXPECT_EQ(s2.outcomes[0].status, PointStatus::kResumed);
   EXPECT_EQ(slurp(s2.csv_path), slurp(s_ref.csv_path));
 }
