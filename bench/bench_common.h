@@ -12,6 +12,7 @@
 
 #include "models/paper_params.h"
 #include "runner/sweep_runner.h"
+#include "sram/characterize.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -53,6 +54,22 @@ inline runner::RunnerOptions sweep_options(const std::string& runner_name,
 // One-line sweep accounting printed after each runner finishes.
 inline void print_sweep_summary(const runner::RunSummary& summary) {
   std::cout << summary.describe() << "\n";
+}
+
+// Recovery-ladder telemetry of one characterized cell, printed with the
+// Table I block.  Zero is the healthy reading; a nonzero count means the
+// characterization transients only converged through the gmin / source
+// ramps, which is worth seeing in the bench log before trusting the
+// figures built on top of those energies.
+inline void print_characterization_telemetry(
+    const std::string& label, const sram::CellEnergetics& cell) {
+  std::cout << "[characterize " << label
+            << "] solver recoveries: " << cell.solver_recoveries();
+  if (cell.solver_recoveries() > 0) {
+    std::cout << " (gmin " << cell.gmin_recoveries << ", source "
+              << cell.source_recoveries << ")";
+  }
+  std::cout << "\n";
 }
 
 }  // namespace nvsram::bench

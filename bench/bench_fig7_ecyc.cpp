@@ -81,6 +81,8 @@ int main() {
   probe.apply_env("fig7");
   core::PowerGatingAnalyzer an(models::PaperParams::table1(),
                                probe.point_timeout_sec);
+  bench::print_characterization_telemetry("6T", an.cell_6t());
+  bench::print_characterization_telemetry("NV-SRAM", an.cell_nv());
 
   // ---- (a): t_SD = 0, t_SL in {0, 100 ns, 1 us} ----
   {

@@ -32,6 +32,8 @@ int main() {
   probe.apply_env("fig8");
   core::PowerGatingAnalyzer an(models::PaperParams::table1(),
                                probe.point_timeout_sec);
+  bench::print_characterization_telemetry("6T", an.cell_6t());
+  bench::print_characterization_telemetry("NV-SRAM", an.cell_nv());
   const auto t_grid = util::logspace(1e-6, 1e-1, 21);
 
   // ---- (a) absolute curves at n_RW = 100 ----

@@ -40,6 +40,12 @@ int main() {
                                 opts.point_timeout_sec),
       core::PowerGatingAnalyzer(models::PaperParams::table1_fast(),
                                 opts.point_timeout_sec)};
+  bench::print_characterization_telemetry("Table I / 6T", tech[0].cell_6t());
+  bench::print_characterization_telemetry("Table I / NV-SRAM",
+                                          tech[0].cell_nv());
+  bench::print_characterization_telemetry("fast / 6T", tech[1].cell_6t());
+  bench::print_characterization_telemetry("fast / NV-SRAM",
+                                          tech[1].cell_nv());
 
   const std::vector<int> row_grid{32, 64, 128, 256, 512, 1024, 2048};
   // Series order matches the printed tables: (tech, store_free) major,

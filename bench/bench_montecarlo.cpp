@@ -39,6 +39,8 @@ int main() {
       run.run(sigmas.size(), [&](const runner::PointContext& pc) {
         sram::VariationSpec spec;
         spec.vth_sigma = sigmas[pc.index];
+        // Retry of a failed point re-runs with looser shared tolerances.
+        spec.relax_attempt = pc.attempt;
         sram::MonteCarlo mc1(models::PaperParams::table1(), spec);
         sram::MonteCarlo mc2(models::PaperParams::table1(), spec);
         sram::MonteCarlo mc3(models::PaperParams::table1(), spec);

@@ -60,6 +60,38 @@ void BM_SparseLuGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseLuGrid)->Arg(10)->Arg(20)->Arg(40);
 
+// The same grid through the split symbolic/numeric API: analyze once outside
+// the loop, refactor per iteration — the Newton hot path on an unchanged
+// sparsity pattern.  Compare against BM_SparseLuGrid at the same Arg to see
+// what skipping the symbolic phase (reach DFS + pivot search + ordering)
+// buys on an array-scale pattern.
+void BM_SparseLuRefactor(benchmark::State& state) {
+  const std::size_t g = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = g * g;
+  linalg::SparseBuilder builder(n);
+  auto at = [g](std::size_t r, std::size_t c) { return r * g + c; };
+  for (std::size_t r = 0; r < g; ++r) {
+    for (std::size_t c = 0; c < g; ++c) {
+      const std::size_t i = at(r, c);
+      builder.add(i, i, 4.001);
+      if (r > 0) builder.add(i, at(r - 1, c), -1.0);
+      if (r + 1 < g) builder.add(i, at(r + 1, c), -1.0);
+      if (c > 0) builder.add(i, at(r, c - 1), -1.0);
+      if (c + 1 < g) builder.add(i, at(r, c + 1), -1.0);
+    }
+  }
+  const linalg::CsrMatrix a(builder);
+  linalg::Vector b(n, 1.0);
+  linalg::SparseLu lu;
+  if (!lu.analyze(a)) state.SkipWithError("analyze failed");
+  for (auto _ : state) {
+    lu.refactor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetLabel(std::to_string(n) + " unknowns, symbolic reused");
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(10)->Arg(20)->Arg(40);
+
 void BM_NvCellDcOperatingPoint(benchmark::State& state) {
   sram::CellTestbench tb(sram::CellKind::kNvSram, models::PaperParams::table1(),
                          sram::TestbenchOptions{.ideal_bitlines = true});

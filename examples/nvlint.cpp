@@ -8,6 +8,10 @@
 //   --rules          print the rule catalog (id, default severity, summary)
 //   --disable=<id>   disable a rule (repeatable)
 //   --werror         exit nonzero on warnings as well as errors
+//   --format=json    machine-readable output: a JSON array with one object
+//                    per file {file, parse_failed, errors, warnings,
+//                    diagnostics:[{rule, severity, file, line, message,
+//                    device, node}]} (CI gates parse this)
 //   -q, --quiet      print only the per-file summary lines
 //
 // Exit status: 0 clean, 1 lint errors (or warnings with --werror),
@@ -38,15 +42,61 @@ struct FileResult {
   std::size_t warnings = 0;
 };
 
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json_diagnostic(std::ostream& os, const std::string& path,
+                           const nvsram::lint::Diagnostic& d, bool first) {
+  if (!first) os << ",";
+  os << "\n      {\"rule\": \"" << json_escape(d.rule) << "\", \"severity\": \""
+     << to_string(d.severity) << "\", \"file\": \"" << json_escape(path)
+     << "\", \"line\": " << d.line << ", \"message\": \""
+     << json_escape(d.message) << "\", \"device\": \"" << json_escape(d.device)
+     << "\", \"node\": \"" << json_escape(d.node) << "\"}";
+}
+
 FileResult lint_file(const std::string& path,
-                     const nvsram::lint::LintOptions& options, bool quiet) {
+                     const nvsram::lint::LintOptions& options, bool quiet,
+                     bool json, bool first_file) {
   using namespace nvsram;
   FileResult result;
+
+  auto json_header = [&](bool parse_failed) {
+    if (!json) return;
+    if (!first_file) std::cout << ",";
+    std::cout << "\n  {\"file\": \"" << json_escape(path)
+              << "\", \"parse_failed\": " << (parse_failed ? "true" : "false");
+  };
 
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open file\n";
     result.parse_failed = true;
+    if (json) {
+      json_header(true);
+      std::cout << ", \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}";
+    }
     return result;
   }
   std::ostringstream ss;
@@ -60,12 +110,29 @@ FileResult lint_file(const std::string& path,
     std::cerr << path << ":" << e.line() << ": parse-error: " << e.what()
               << "\n";
     result.parse_failed = true;
+    if (json) {
+      json_header(true);
+      std::cout << ", \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}";
+    }
     return result;
   }
 
   const lint::LintReport report = net->lint(options);
   result.errors = report.count(lint::Severity::kError);
   result.warnings = report.count(lint::Severity::kWarning);
+  if (json) {
+    json_header(false);
+    std::cout << ", \"errors\": " << result.errors
+              << ", \"warnings\": " << result.warnings
+              << ", \"diagnostics\": [";
+    bool first = true;
+    for (const auto& d : report.diagnostics()) {
+      print_json_diagnostic(std::cout, path, d, first);
+      first = false;
+    }
+    std::cout << (first ? "]" : "\n    ]") << "}";
+    return result;
+  }
   if (!quiet) {
     for (const auto& d : report.diagnostics()) {
       std::cout << path << ":" << (d.line >= 0 ? std::to_string(d.line) : "-")
@@ -86,6 +153,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   bool quiet = false;
   bool werror = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,11 +174,17 @@ int main(int argc, char** argv) {
       options.disable(id);
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::cerr << "nvlint: unknown format '" << arg.substr(9)
+                << "' (supported: json)\n";
+      return 2;
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: nvlint [--rules] [--disable=<id>] [--werror] "
-                   "[-q] <netlist.cir>...\n";
+                   "[--format=json] [-q] <netlist.cir>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nvlint: unknown option '" << arg << "'\n";
@@ -120,20 +194,24 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: nvlint [--rules] [--disable=<id>] [--werror] [-q] "
-                 "<netlist.cir>...\n";
+    std::cerr << "usage: nvlint [--rules] [--disable=<id>] [--werror] "
+                 "[--format=json] [-q] <netlist.cir>...\n";
     return 2;
   }
 
   bool any_parse_failed = false;
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
+  if (json) std::cout << "[";
+  bool first_file = true;
   for (const auto& path : files) {
-    const FileResult r = lint_file(path, options, quiet);
+    const FileResult r = lint_file(path, options, quiet, json, first_file);
+    first_file = false;
     any_parse_failed = any_parse_failed || r.parse_failed;
     total_errors += r.errors;
     total_warnings += r.warnings;
   }
+  if (json) std::cout << "\n]\n";
 
   if (any_parse_failed) return 2;
   if (total_errors > 0) return 1;

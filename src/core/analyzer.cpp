@@ -5,16 +5,19 @@
 namespace nvsram::core {
 
 PowerGatingAnalyzer::PowerGatingAnalyzer(models::PaperParams pp,
-                                         double max_wall_seconds)
+                                         double max_wall_seconds,
+                                         int relax_attempt)
     : pp_(pp) {
   // Both cell characterizations share one wall-clock budget; the second one
   // only gets whatever the first left over.
   const util::Deadline phase(max_wall_seconds);
-  cell_6t_ = sram::CellCharacterizer(pp_, phase.remaining_seconds())
-                 .characterize(sram::CellKind::k6T);
+  cell_6t_ =
+      sram::CellCharacterizer(pp_, phase.remaining_seconds(), relax_attempt)
+          .characterize(sram::CellKind::k6T);
   phase.check("PowerGatingAnalyzer: characterization");
-  cell_nv_ = sram::CellCharacterizer(pp_, phase.remaining_seconds())
-                 .characterize(sram::CellKind::kNvSram);
+  cell_nv_ =
+      sram::CellCharacterizer(pp_, phase.remaining_seconds(), relax_attempt)
+          .characterize(sram::CellKind::kNvSram);
   model_ = std::make_unique<EnergyModel>(cell_6t_, cell_nv_);
 }
 

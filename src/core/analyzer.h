@@ -18,8 +18,11 @@ class PowerGatingAnalyzer {
   // expiry throws util::WatchdogError.  0 = unlimited.  Sweep points that
   // build analyzers should pass their PointContext::timeout_sec here so the
   // runner's watchdog covers the SPICE-characterization phase too.
+  // `relax_attempt` is forwarded to both CellCharacterizers (shared
+  // relaxation ladder); retry callbacks pass PointContext::attempt.
   explicit PowerGatingAnalyzer(models::PaperParams pp,
-                               double max_wall_seconds = 0.0);
+                               double max_wall_seconds = 0.0,
+                               int relax_attempt = 0);
 
   const models::PaperParams& paper() const { return pp_; }
   const EnergyModel& model() const { return *model_; }

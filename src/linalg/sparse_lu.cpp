@@ -1,5 +1,6 @@
 #include "linalg/sparse_lu.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -48,6 +49,8 @@ bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
                          double pivot_floor) {
   n_ = a.dimension();
   valid_ = false;
+  analyzed_ = false;
+  structurally_singular_ = false;
   failed_pivot_ = kNoFailedPivot;
   non_finite_ = false;
   if (n_ == 0) {
@@ -215,6 +218,208 @@ bool SparseLu::factorize(const CsrMatrix& a, double pivot_threshold,
   perm_.assign(n_, 0);
   for (std::size_t orig = 0; orig < n_; ++orig) perm_[pinv[orig]] = orig;
   pinv_ = std::move(pinv);
+  cperm_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) cperm_[k] = k;
+  valid_ = true;
+  return true;
+}
+
+bool SparseLu::analyze(const CsrMatrix& a) {
+  n_ = a.dimension();
+  valid_ = false;
+  analyzed_ = false;
+  structurally_singular_ = false;
+  failed_pivot_ = kNoFailedPivot;
+  non_finite_ = false;
+  pattern_ = SparsityPattern::from_csr(a);
+  if (n_ == 0) {
+    analyzed_ = true;
+    valid_ = true;
+    return true;
+  }
+
+  // ---- structural solvability: maximum transversal ----
+  const Matching matching = maximum_matching(pattern_);
+  if (!matching.perfect(n_)) {
+    structurally_singular_ = true;
+    const auto rows = matching.unmatched_rows();
+    failed_pivot_ = rows.empty() ? kNoFailedPivot : rows.front();
+    return false;
+  }
+
+  // ---- fill-reducing column order; pivot rows follow the matching ----
+  cperm_ = min_degree_order(pattern_, matching);
+  pinv_.assign(n_, kNone);
+  perm_.assign(n_, kNone);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t orig_row = matching.col_match[cperm_[k]];
+    pinv_[orig_row] = k;
+    perm_[k] = orig_row;
+  }
+
+  // ---- scatter plan: original entries of column cperm_[k], factor rows ----
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  std::vector<std::size_t> col_count(n_, 0);
+  for (std::size_t c : ci) col_count[c]++;
+  csc_ptr_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    csc_ptr_[k + 1] = csc_ptr_[k] + col_count[cperm_[k]];
+  }
+  csc_factor_row_.resize(ci.size());
+  csc_val_pos_.resize(ci.size());
+  {
+    std::vector<std::size_t> dst_of_col(n_);  // original col -> factor col
+    for (std::size_t k = 0; k < n_; ++k) dst_of_col[cperm_[k]] = k;
+    std::vector<std::size_t> next(n_);
+    for (std::size_t k = 0; k < n_; ++k) next[k] = csc_ptr_[k];
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+        const std::size_t k = dst_of_col[ci[p]];
+        const std::size_t dst = next[k]++;
+        csc_factor_row_[dst] = pinv_[r];
+        csc_val_pos_[dst] = p;
+      }
+    }
+  }
+
+  // ---- symbolic left-looking elimination with the fixed pivot order ----
+  // With every pivot predetermined, factor rows are totally ordered and
+  // ascending factor index is a valid elimination order, so the per-column
+  // pattern is simply the closure of the scattered positions under
+  // "j in pattern, j < k  =>  L-pattern(j) in pattern".
+  l_row_ptr_.assign(1, 0);
+  u_row_ptr_.assign(1, 0);
+  l_col_.clear();
+  u_col_.clear();
+  std::vector<int> mark(n_, -1);
+  std::vector<std::size_t> dfs_stack, dfs_pos, found;
+  for (std::size_t k = 0; k < n_; ++k) {
+    found.clear();
+    for (std::size_t p = csc_ptr_[k]; p < csc_ptr_[k + 1]; ++p) {
+      const std::size_t root = csc_factor_row_[p];
+      if (mark[root] == static_cast<int>(k)) continue;
+      dfs_stack.assign(1, root);
+      dfs_pos.assign(1, 0);
+      mark[root] = static_cast<int>(k);
+      while (!dfs_stack.empty()) {
+        const std::size_t node = dfs_stack.back();
+        bool descended = false;
+        if (node < k) {
+          // Children: strictly-lower entries of L column `node` (diag at 0).
+          std::size_t& pos = dfs_pos.back();
+          const std::size_t begin = l_row_ptr_[node] + 1;
+          const std::size_t end = l_row_ptr_[node + 1];
+          while (begin + pos < end) {
+            const std::size_t child = l_col_[begin + pos];
+            ++pos;
+            if (mark[child] != static_cast<int>(k)) {
+              mark[child] = static_cast<int>(k);
+              dfs_stack.push_back(child);
+              dfs_pos.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          found.push_back(node);
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    }
+    std::sort(found.begin(), found.end());
+    // U rows ascending (strictly above the diagonal), then the diagonal.
+    for (std::size_t node : found) {
+      if (node < k) u_col_.push_back(node);
+    }
+    u_col_.push_back(k);
+    u_row_ptr_.push_back(u_col_.size());
+    // L: unit diagonal first, then strictly-below rows ascending.
+    l_col_.push_back(k);
+    for (std::size_t node : found) {
+      if (node > k) l_col_.push_back(node);
+    }
+    l_row_ptr_.push_back(l_col_.size());
+  }
+  l_values_.assign(l_col_.size(), 0.0);
+  u_values_.assign(u_col_.size(), 0.0);
+  work_.assign(n_, 0.0);
+  analyzed_ = true;
+  return true;
+}
+
+bool SparseLu::pattern_matches(const CsrMatrix& a) const {
+  return analyzed_ && a.dimension() == pattern_.dimension() &&
+         a.row_ptr() == pattern_.row_ptr() && a.col_idx() == pattern_.col_idx();
+}
+
+bool SparseLu::refactor(const CsrMatrix& a, double pivot_floor) {
+  if (!analyzed_) {
+    throw std::logic_error("SparseLu::refactor before analyze");
+  }
+  if (!pattern_matches(a)) {
+    throw std::invalid_argument("SparseLu::refactor: pattern mismatch");
+  }
+  valid_ = false;
+  failed_pivot_ = kNoFailedPivot;
+  non_finite_ = false;
+  if (n_ == 0) {
+    valid_ = true;
+    return true;
+  }
+  const auto& av = a.values();
+  std::vector<double>& x = work_;  // zero outside each column's pattern
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Scatter the original entries of column cperm_[k].
+    for (std::size_t p = csc_ptr_[k]; p < csc_ptr_[k + 1]; ++p) {
+      x[csc_factor_row_[p]] = av[csc_val_pos_[p]];
+    }
+    // Eliminate with the already-final columns, ascending factor index.
+    const std::size_t u_begin = u_row_ptr_[k];
+    const std::size_t u_diag = u_row_ptr_[k + 1] - 1;
+    for (std::size_t p = u_begin; p < u_diag; ++p) {
+      const std::size_t j = u_col_[p];
+      const double xj = x[j];
+      if (xj == 0.0) continue;
+      for (std::size_t q = l_row_ptr_[j] + 1; q < l_row_ptr_[j + 1]; ++q) {
+        x[l_col_[q]] -= l_values_[q] * xj;
+      }
+    }
+    const double pivot = x[k];
+    // Gather U (values above the diagonal, diagonal last) and L (unit
+    // diagonal, then scaled below-diagonal values); clear the workspace.
+    bool finite = std::isfinite(pivot);
+    for (std::size_t p = u_begin; p < u_diag; ++p) {
+      const double v = x[u_col_[p]];
+      finite = finite && std::isfinite(v);
+      u_values_[p] = v;
+      x[u_col_[p]] = 0.0;
+    }
+    u_values_[u_diag] = pivot;
+    x[k] = 0.0;
+    const std::size_t l_begin = l_row_ptr_[k];
+    l_values_[l_begin] = 1.0;
+    for (std::size_t q = l_begin + 1; q < l_row_ptr_[k + 1]; ++q) {
+      const double v = x[l_col_[q]];
+      finite = finite && std::isfinite(v);
+      l_values_[q] = v / pivot;
+      x[l_col_[q]] = 0.0;
+    }
+    if (!finite) {
+      failed_pivot_ = k;
+      non_finite_ = true;
+      std::fill(x.begin(), x.end(), 0.0);
+      return false;
+    }
+    if (std::fabs(pivot) < pivot_floor) {
+      failed_pivot_ = k;
+      std::fill(x.begin(), x.end(), 0.0);
+      return false;
+    }
+  }
   valid_ = true;
   return true;
 }
@@ -245,7 +450,10 @@ Vector SparseLu::solve(const Vector& b) const {
       y[u_col_[p]] -= u_values_[p] * xk;
     }
   }
-  return y;
+  // Undo the column permutation (identity for factorize()).
+  Vector out(n_);
+  for (std::size_t k = 0; k < n_; ++k) out[cperm_[k]] = y[k];
+  return out;
 }
 
 std::optional<Vector> solve_sparse(const CsrMatrix& a, const Vector& b) {

@@ -1,9 +1,23 @@
 // Sparse LU for MNA systems.
 //
-// Row-wise left-looking LU on a hash-free working row, with threshold
-// partial pivoting restricted to the original + fill pattern.  Circuit
-// matrices are small-bandwidth and diagonally heavy after gmin loading, so
-// this simple scheme is robust and fast enough for multi-thousand-node
+// Two entry points share the factor storage and solve():
+//
+//   * factorize(A)            — one-shot left-looking LU with threshold
+//     partial pivoting restricted to the original + fill pattern.  Robust
+//     default for a matrix seen once.
+//
+//   * analyze(A) + refactor(A) — KLU-style split.  analyze() proves the
+//     pattern structurally nonsingular (maximum matching), picks a
+//     fill-reducing column order (minimum degree) and a matching-based pivot
+//     sequence, and computes the complete L/U fill pattern symbolically.
+//     refactor() then redoes only the numerics on the fixed pattern — no
+//     reachability DFS, no pivot search — which is what Newton re-solves on
+//     an unchanged pattern want.  refactor() is valid for any matrix with
+//     the analyzed pattern; a numeric pivot failure (values, not topology)
+//     leaves the analysis intact so callers can fall back to factorize().
+//
+// Circuit matrices are small-bandwidth and diagonally heavy after gmin
+// loading, so both schemes are robust and fast enough for multi-thousand-node
 // arrays; the dense path remains the default below `kDenseCutoff` unknowns.
 #pragma once
 
@@ -11,6 +25,7 @@
 
 #include "linalg/lu.h"
 #include "linalg/sparse.h"
+#include "linalg/structure.h"
 
 namespace nvsram::linalg {
 
@@ -26,14 +41,33 @@ class SparseLu {
   bool factorize(const CsrMatrix& a, double pivot_threshold = 0.1,
                  double pivot_floor = 1e-300);
 
+  // ---- split symbolic / numeric API ----
+  // Symbolic analysis of the pattern of `a` (values ignored).  Returns false
+  // when the pattern is structurally singular (no perfect matching); the
+  // verdict is then available via structurally_singular().  On success the
+  // analysis persists until the next analyze()/factorize() call and serves
+  // any number of refactor() calls on matrices with the same pattern.
+  bool analyze(const CsrMatrix& a);
+
+  // Numeric factorization over the analyzed pattern.  Requires a prior
+  // successful analyze() with pattern_matches(a).  Returns false on a
+  // numeric pivot failure or a non-finite value; the analysis survives.
+  bool refactor(const CsrMatrix& a, double pivot_floor = 1e-300);
+
+  bool analyzed() const { return analyzed_; }
+  bool pattern_matches(const CsrMatrix& a) const;
+  // True when the last analyze() failed for structural (topology) reasons.
+  bool structurally_singular() const { return structurally_singular_; }
+
   Vector solve(const Vector& b) const;
 
   bool valid() const { return valid_; }
   std::size_t dimension() const { return n_; }
   std::size_t factor_nonzeros() const { return l_values_.size() + u_values_.size(); }
 
-  // After a failed factorize(): the elimination step (column) that gave up,
-  // and whether it failed on a NaN/Inf value rather than a tiny pivot.
+  // After a failed factorize()/refactor(): the elimination step (column)
+  // that gave up, and whether it failed on a NaN/Inf value rather than a
+  // tiny pivot.
   std::size_t failed_pivot() const { return failed_pivot_; }
   bool non_finite() const { return non_finite_; }
 
@@ -47,13 +81,28 @@ class SparseLu {
   // pinv_ is the inverse map (original row -> factor row).
   std::vector<std::size_t> perm_;
   std::vector<std::size_t> pinv_;
+  // Column permutation: factor column k holds original column cperm_[k]
+  // (identity for factorize(); the fill-reducing order for analyze()).
+  std::vector<std::size_t> cperm_;
 
-  // L (strictly lower, unit diagonal implicit) and U (upper incl. diagonal),
-  // both row-compressed over the factor ordering.
+  // L (strictly lower + explicit unit diagonal stored first per column) and
+  // U (upper incl. diagonal stored last per column), both column-compressed
+  // over the factor ordering.
   std::vector<std::size_t> l_row_ptr_, l_col_;
   std::vector<double> l_values_;
   std::vector<std::size_t> u_row_ptr_, u_col_;
   std::vector<double> u_values_;
+
+  // ---- symbolic analysis state (analyze()/refactor() only) ----
+  bool analyzed_ = false;
+  bool structurally_singular_ = false;
+  SparsityPattern pattern_;
+  // Scatter plan: for factor column k, positions csc_ptr_[k]..csc_ptr_[k+1]
+  // name the factor row and the index into CsrMatrix::values() of every
+  // original entry of column cperm_[k].
+  std::vector<std::size_t> csc_ptr_, csc_factor_row_, csc_val_pos_;
+  // Numeric workspace reused across refactor() calls.
+  std::vector<double> work_;
 };
 
 // One-shot convenience; picks dense or sparse by dimension.

@@ -13,6 +13,7 @@
 #include "spice/fet_element.h"
 #include "spice/mtj_element.h"
 #include "spice/netlist_parser.h"
+#include "spice/structural_analysis.h"
 
 namespace nvsram::lint {
 
@@ -35,6 +36,7 @@ class Linter {
     check_dc_paths();
     check_voltage_branches();
     check_self_connected();
+    check_structure();
     check_values();
     check_sram_topology();
     if (netlist_ != nullptr) {
@@ -191,6 +193,98 @@ class Linter {
                         "'; its stamps cancel and it carries no signal",
                     *dev);
       }
+    }
+  }
+
+
+  // ---- structural-singular / dangling-branch-equation / disconnected-block
+  // Symbolic MNA analysis of the DC stamp pattern (gmin excluded: it would
+  // put every node diagonal in the pattern and mask exactly these defects).
+  void check_structure() {
+    if (!options_.enabled(rules::kStructuralSingular) &&
+        !options_.enabled(rules::kDanglingBranchEquation) &&
+        !options_.enabled(rules::kDisconnectedBlock)) {
+      return;
+    }
+    const spice::StructuralReport rep =
+        spice::analyze_structure(circuit_, /*dc=*/true);
+    constexpr std::size_t kMaxPerCategory = 8;
+
+    std::unordered_set<std::string> dangling_unknowns;
+    for (const auto& db : rep.dangling_branches) {
+      dangling_unknowns.insert(db.unknown);
+      const char* what = db.empty_row && db.empty_col ? "row and column"
+                         : db.empty_row              ? "row"
+                                                     : "column";
+      emit(rules::kDanglingBranchEquation,
+           "branch equation " + db.unknown + " of device '" + db.device +
+               "' has an empty matrix " + std::string(what) +
+               "; the branch current is structurally undetermined",
+           db.device, "", device_line(db.device));
+    }
+
+    auto emit_defect = [&](const spice::StructuralDefect& d, bool equation) {
+      if (dangling_unknowns.count(d.unknown)) return;  // reported above
+      // A node no device touches is already reported (with better context)
+      // by float-node / no-dc-path; repeating it here would double-report
+      // every declared-but-unused node.
+      if (!d.node.empty() && d.devices.empty()) return;
+      std::ostringstream msg;
+      msg << (equation ? "equation of " : "unknown ") << d.unknown
+          << (equation
+                  ? " can never be pivoted (no unknown left to solve it for)"
+                  : " is structurally undetermined (no equation can be "
+                    "solved for it)");
+      if (!d.devices.empty()) {
+        msg << "; devices touching it:";
+        const std::size_t shown =
+            std::min<std::size_t>(d.devices.size(), kMaxPerCategory);
+        for (std::size_t i = 0; i < shown; ++i) msg << " '" << d.devices[i] << "'";
+        if (d.devices.size() > shown) {
+          msg << " (+" << d.devices.size() - shown << " more)";
+        }
+      }
+      msg << "; the MNA matrix is singular for every device value";
+      const std::string device = d.devices.empty() ? "" : d.devices.front();
+      int line = d.node.empty() ? -1 : node_line(d.node);
+      if (line < 0 && !device.empty()) line = device_line(device);
+      emit(rules::kStructuralSingular, msg.str(), device, d.node, line);
+    };
+    std::size_t emitted = 0;
+    for (const auto& d : rep.undetermined_unknowns) {
+      if (emitted >= kMaxPerCategory) break;
+      emit_defect(d, /*equation=*/false);
+      ++emitted;
+    }
+    emitted = 0;
+    for (const auto& d : rep.unsolvable_equations) {
+      if (emitted >= kMaxPerCategory) break;
+      emit_defect(d, /*equation=*/true);
+      ++emitted;
+    }
+
+    for (const auto& block : rep.floating_blocks) {
+      std::ostringstream msg;
+      msg << "equation block {";
+      const std::size_t shown =
+          std::min<std::size_t>(block.unknowns.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (i) msg << ", ";
+        msg << block.unknowns[i];
+      }
+      if (block.unknowns.size() > shown) {
+        msg << ", +" << block.unknowns.size() - shown << " more";
+      }
+      msg << "} has no ground reference; its KCL rows sum to zero and the "
+             "block is numerically singular without gmin";
+      const std::string device =
+          block.devices.empty() ? "" : block.devices.front();
+      int line = -1;
+      for (const auto& dev : block.devices) {
+        const int l = device_line(dev);
+        if (l >= 0 && (line < 0 || l < line)) line = l;
+      }
+      emit(rules::kDisconnectedBlock, msg.str(), device, "", line);
     }
   }
 

@@ -29,6 +29,15 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kMtjOrientation, Severity::kWarning,
        "MTJ pinned layer faces the FET store branch (store polarity inverted "
        "vs the paper's Fig. 2 topology)"},
+      {rules::kStructuralSingular, Severity::kError,
+       "MNA matrix is structurally singular: some equation/unknown can never "
+       "be pivoted, for every assignment of device values"},
+      {rules::kDanglingBranchEquation, Severity::kError,
+       "branch-current equation with an empty row or column (e.g. a voltage "
+       "source strapped between grounds)"},
+      {rules::kDisconnectedBlock, Severity::kWarning,
+       "connected equation block with no ground reference (KCL rows sum to "
+       "zero: numerically singular without gmin)"},
   };
   return kCatalog;
 }

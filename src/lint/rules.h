@@ -30,6 +30,11 @@ inline constexpr const char* kSubcktUnusedPort = "subckt-unused-port";
 // Paper-specific topology.
 inline constexpr const char* kSramCrossCoupling = "sram-cross-coupling";
 inline constexpr const char* kMtjOrientation = "mtj-orientation";
+// Structural MNA analysis (spice/structural_analysis.h): symbolic proofs on
+// the stamp-position pattern, gmin excluded.
+inline constexpr const char* kStructuralSingular = "structural-singular";
+inline constexpr const char* kDisconnectedBlock = "disconnected-block";
+inline constexpr const char* kDanglingBranchEquation = "dangling-branch-equation";
 }  // namespace rules
 
 struct RuleInfo {

@@ -20,6 +20,15 @@ void VCVS::stamp(StampContext& ctx) {
   ctx.mat_bn(branch_, cn_, gain_);
 }
 
+void VCVS::stamp_pattern(PatternContext& ctx) const {
+  ctx.mat_nb(p_, branch_);
+  ctx.mat_nb(n_, branch_);
+  ctx.mat_bn(branch_, p_);
+  ctx.mat_bn(branch_, n_);
+  ctx.mat_bn(branch_, cp_);
+  ctx.mat_bn(branch_, cn_);
+}
+
 double VCVS::current(const SolutionView& s) const { return s.value(branch_); }
 
 VCCS::VCCS(std::string name, NodeId p, NodeId n, NodeId control_p,
@@ -33,6 +42,13 @@ void VCCS::stamp(StampContext& ctx) {
   ctx.mat_nn(p_, cn_, -gm_);
   ctx.mat_nn(n_, cp_, -gm_);
   ctx.mat_nn(n_, cn_, gm_);
+}
+
+void VCCS::stamp_pattern(PatternContext& ctx) const {
+  ctx.mat_nn(p_, cp_);
+  ctx.mat_nn(p_, cn_);
+  ctx.mat_nn(n_, cp_);
+  ctx.mat_nn(n_, cn_);
 }
 
 double VCCS::current(const SolutionView& s) const {

@@ -16,6 +16,7 @@ class VCVS : public Device {
 
   void reserve(MnaLayout& layout) override;
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   // Branch current, + -> - internally (same convention as VSource).
   double current(const SolutionView& s) const override;
   std::vector<TerminalRef> terminals() const override {
@@ -46,6 +47,7 @@ class VCCS : public Device {
        double transconductance);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   double current(const SolutionView& s) const override;
   // Output is a current source (no DC conductance); control pins sense only.
   std::vector<TerminalRef> terminals() const override {

@@ -37,7 +37,7 @@ std::optional<DCSolution> DCAnalysis::solve(const linalg::Vector* initial_guess)
   const NewtonResult r = solve_newton_with_recovery(
       circuit_, layout_, x, /*time=*/0.0, /*dt=*/0.0, /*dc=*/true,
       IntegrationMethod::kBackwardEuler, options_.newton, recovery,
-      deadline.unlimited() ? nullptr : &deadline);
+      deadline.unlimited() ? nullptr : &deadline, &ws_);
   last_diag_ = r.diagnostics;
   if (!r.converged) {
     util::log_warn() << "DC: no operating point: " << last_diag_.describe();
@@ -59,9 +59,12 @@ Waveform DCSweep::run() {
   Waveform wave(std::move(labels));
 
   std::optional<linalg::Vector> warm;
+  // One analysis for the whole sweep: the topology (and so the sparsity
+  // pattern) is fixed, so every point after the first reuses the symbolic
+  // LU analysis alongside the warm-started iterate.
+  DCAnalysis dc(circuit_, options_);
   for (double point : points_) {
     setter_(point);
-    DCAnalysis dc(circuit_, options_);
     auto sol = dc.solve(warm ? &*warm : nullptr);
     if (!sol) {
       throw SolverError("DCSweep: no convergence at point " +

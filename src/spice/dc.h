@@ -53,12 +53,16 @@ class DCAnalysis {
   std::optional<DCSolution> solve(const linalg::Vector* initial_guess = nullptr);
 
   const SolveDiagnostics& last_diagnostics() const { return last_diag_; }
+  const NewtonWorkspace& workspace() const { return ws_; }
 
  private:
   Circuit& circuit_;
   DCOptions options_;
   MnaLayout layout_;
   SolveDiagnostics last_diag_;
+  // Symbolic LU analysis shared by every solve() on this analysis (sparse
+  // systems only; repeat solves with an unchanged pattern skip it).
+  NewtonWorkspace ws_;
 };
 
 // Sweeps a parameter (applied through `setter`) and records probe values at

@@ -1,8 +1,18 @@
 #include "spice/device.h"
 
-// Device is header-only today; this TU anchors the vtable.
 namespace nvsram::spice {
-namespace {
-// Intentionally empty.
+
+void Device::stamp_pattern(PatternContext& ctx) const {
+  // Conservative fallback: assume the device may couple every terminal pair.
+  // Devices that allocate branch unknowns must override — the base class has
+  // no record of branch indices, so their equations would otherwise be
+  // reported as structurally empty.
+  const auto pins = terminals();
+  for (const TerminalRef& a : pins) {
+    for (const TerminalRef& b : pins) {
+      ctx.mat_nn(a.node, b.node);
+    }
+  }
 }
+
 }  // namespace nvsram::spice

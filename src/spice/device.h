@@ -142,6 +142,51 @@ class StampContext {
   double source_scale_;
 };
 
+// Positions-only sibling of StampContext: devices record WHERE they stamp,
+// never what.  Used by the structural analyzer to build the MNA sparsity
+// pattern without evaluating any companion model (stamp() mutates device
+// scratch state; stamp_pattern() must not).  Entries carry a nominal 1.0 so
+// the builder's triplets can feed pattern extraction directly.
+class PatternContext {
+ public:
+  PatternContext(const MnaLayout& layout, linalg::SparseBuilder& mat, bool dc)
+      : layout_(layout), mat_(mat), dc_(dc) {}
+
+  // True when the pattern is for a DC system: capacitors contribute nothing,
+  // inductors short (no d/dt terms).
+  bool dc() const { return dc_; }
+
+  // ---- raw position stamps (ground rows/columns silently dropped) ----
+  void mat_nn(NodeId r, NodeId c) {
+    if (r == kGround || c == kGround) return;
+    mat_.add(layout_.node_index(r), layout_.node_index(c), 1.0);
+  }
+  void mat_nb(NodeId r, std::size_t branch) {
+    if (r == kGround) return;
+    mat_.add(layout_.node_index(r), branch, 1.0);
+  }
+  void mat_bn(std::size_t branch, NodeId c) {
+    if (c == kGround) return;
+    mat_.add(branch, layout_.node_index(c), 1.0);
+  }
+  void mat_bb(std::size_t row_branch, std::size_t col_branch) {
+    mat_.add(row_branch, col_branch, 1.0);
+  }
+
+  // Positions of stamp_conductance(a, b, g).
+  void conductance(NodeId a, NodeId b) {
+    mat_nn(a, a);
+    mat_nn(b, b);
+    mat_nn(a, b);
+    mat_nn(b, a);
+  }
+
+ private:
+  const MnaLayout& layout_;
+  linalg::SparseBuilder& mat_;
+  bool dc_;
+};
+
 // Base class for all circuit elements.
 class Device {
  public:
@@ -175,6 +220,13 @@ class Device {
 
   // Load the linearized companion model for the current iterate.
   virtual void stamp(StampContext& ctx) = 0;
+
+  // Record the matrix positions stamp() can ever touch for this analysis
+  // kind, without numerics or state mutation.  The default is conservative:
+  // all pairs over the device's terminals plus any allocated branch rows —
+  // a superset is harmless for solvability proofs but weakens them, so
+  // concrete devices override with their exact footprint.
+  virtual void stamp_pattern(PatternContext& ctx) const;
 
   // Called once after the DC operating point, before transient stepping.
   virtual void begin_transient(const SolutionView&) {}

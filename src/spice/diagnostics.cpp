@@ -26,6 +26,15 @@ const char* to_string(NonFiniteSite site) {
   return "?";
 }
 
+const char* to_string(StructuralVerdict verdict) {
+  switch (verdict) {
+    case StructuralVerdict::kUnknown: return "unknown";
+    case StructuralVerdict::kSound: return "sound";
+    case StructuralVerdict::kSingular: return "structurally-singular";
+  }
+  return "?";
+}
+
 std::string SolveDiagnostics::describe() const {
   std::ostringstream os;
   if (converged) {
@@ -37,6 +46,11 @@ std::string SolveDiagnostics::describe() const {
   } else if (singular) {
     os << "singular system";
     if (singular_pivot != kNoPivot) os << " (pivot " << singular_pivot << ")";
+    if (structure == StructuralVerdict::kSound) {
+      os << " [structurally sound - numeric pivot failure]";
+    } else if (structure == StructuralVerdict::kSingular) {
+      os << " [structurally singular - topology bug, not a value problem]";
+    }
   } else {
     os << "not converged after " << iterations << " iters";
   }

@@ -34,6 +34,17 @@ enum class NonFiniteSite {
 };
 const char* to_string(NonFiniteSite site);
 
+// Verdict of the structural (symbolic) analysis of the solved system.  A
+// numeric pivot failure on a structurally SOUND system points at device
+// values (a conditioning problem recovery can fix); a structurally SINGULAR
+// system is a topology bug no gmin ramp or source step will ever salvage.
+enum class StructuralVerdict {
+  kUnknown = 0,  // analysis not performed (e.g. failed before factorization)
+  kSound,        // perfect equation/unknown matching exists
+  kSingular,     // structurally singular: deficient for every value set
+};
+const char* to_string(StructuralVerdict verdict);
+
 struct SolveDiagnostics {
   static constexpr std::size_t kNoPivot =
       std::numeric_limits<std::size_t>::max();
@@ -61,6 +72,9 @@ struct SolveDiagnostics {
   // Pivot index at which the LU factorization gave up (kNoPivot if the
   // factorization succeeded or was never reached).
   std::size_t singular_pivot = kNoPivot;
+
+  // Structural verdict of the assembled system (see StructuralVerdict).
+  StructuralVerdict structure = StructuralVerdict::kUnknown;
 
   // True when the failure was forced by an injected FaultPlan.
   bool injected = false;

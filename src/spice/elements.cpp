@@ -117,6 +117,8 @@ void Resistor::stamp(StampContext& ctx) {
   ctx.stamp_conductance(a_, b_, 1.0 / resistance_);
 }
 
+void Resistor::stamp_pattern(PatternContext& ctx) const { ctx.conductance(a_, b_); }
+
 double Resistor::current(const SolutionView& s) const {
   return (s.node_voltage(a_) - s.node_voltage(b_)) / resistance_;
 }
@@ -169,6 +171,12 @@ double Capacitor::current(const SolutionView& s) const {
   return geq_ * v - ieq_;
 }
 
+void Capacitor::stamp_pattern(PatternContext& ctx) const {
+  // Open at DC: no matrix footprint (gmin keeps otherwise-floating nodes
+  // solvable, but structurally the capacitor contributes nothing).
+  if (!ctx.dc()) ctx.conductance(a_, b_);
+}
+
 double Capacitor::stored_energy(const SolutionView& s) const {
   const double v = s.node_voltage(a_) - s.node_voltage(b_);
   return 0.5 * capacitance_ * v * v;
@@ -207,6 +215,14 @@ void Inductor::stamp(StampContext& ctx) {
   ctx.rhs_b(branch_, hist);
 }
 
+void Inductor::stamp_pattern(PatternContext& ctx) const {
+  ctx.mat_nb(a_, branch_);
+  ctx.mat_nb(b_, branch_);
+  ctx.mat_bn(branch_, a_);
+  ctx.mat_bn(branch_, b_);
+  if (!ctx.dc()) ctx.mat_bb(branch_, branch_);
+}
+
 void Inductor::begin_transient(const SolutionView& s) {
   i_prev_ = s.value(branch_);
   v_prev_ = s.node_voltage(a_) - s.node_voltage(b_);
@@ -237,6 +253,13 @@ void VSource::stamp(StampContext& ctx) {
   ctx.mat_bn(branch_, plus_, 1.0);
   ctx.mat_bn(branch_, minus_, -1.0);
   ctx.rhs_b(branch_, spec_.value(ctx.time()) * ctx.source_scale());
+}
+
+void VSource::stamp_pattern(PatternContext& ctx) const {
+  ctx.mat_nb(plus_, branch_);
+  ctx.mat_nb(minus_, branch_);
+  ctx.mat_bn(branch_, plus_);
+  ctx.mat_bn(branch_, minus_);
 }
 
 double VSource::current(const SolutionView& s) const {
@@ -294,6 +317,10 @@ void Diode::stamp(StampContext& ctx) {
   // Linearized companion: i(v) ~ i0 + g (v - v0).
   ctx.stamp_conductance(anode_, cathode_, g);
   ctx.stamp_current(anode_, cathode_, i - g * v);
+}
+
+void Diode::stamp_pattern(PatternContext& ctx) const {
+  ctx.conductance(anode_, cathode_);
 }
 
 double Diode::current(const SolutionView& s) const {

@@ -49,6 +49,7 @@ class Resistor : public Device {
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   // Positive current flows a -> b.
   double current(const SolutionView& s) const override;
   std::vector<TerminalRef> terminals() const override {
@@ -72,6 +73,7 @@ class Capacitor : public Device {
   Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   void begin_transient(const SolutionView& s) override;
   bool accept_step(const SolutionView& s, double time, double dt) override;
   double current(const SolutionView& s) const override;
@@ -104,6 +106,7 @@ class Inductor : public Device {
 
   void reserve(MnaLayout& layout) override;
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   void begin_transient(const SolutionView& s) override;
   bool accept_step(const SolutionView& s, double time, double dt) override;
   // Branch current, positive a -> b.
@@ -135,6 +138,7 @@ class VSource : public Device {
 
   void reserve(MnaLayout& layout) override;
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   // Branch current flows internally from + to -; a source delivering power
   // has negative branch current.
   double current(const SolutionView& s) const override;
@@ -168,6 +172,7 @@ class ISource : public Device {
   ISource(std::string name, NodeId from, NodeId to, SourceSpec spec);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext&) const override {}  // matrix-empty
   double current(const SolutionView&) const override { return last_value_; }
   void breakpoints(double t_stop, std::vector<double>& out) const override;
   // An ideal current source has infinite DC impedance: no dc_paths() edge.
@@ -190,6 +195,7 @@ class Diode : public Device {
         double emission = 1.0, double temperature = 300.0);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   double current(const SolutionView& s) const override;
   double saturation_current() const { return is_; }
   std::vector<TerminalRef> terminals() const override {

@@ -30,6 +30,19 @@ void FinFETElement::stamp(StampContext& ctx) {
   ctx.stamp_current(drain_, source_, i_eq);
 }
 
+void FinFETElement::stamp_pattern(PatternContext& ctx) const {
+  // The gate ROW receives nothing from the channel: the gate is insulated
+  // and only senses.  Its equation must be fed by other devices (the Cgs/Cgd
+  // companions outside DC) or the node is structurally floating — exactly
+  // what the analyzer should report.
+  ctx.mat_nn(drain_, gate_);
+  ctx.mat_nn(drain_, drain_);
+  ctx.mat_nn(drain_, source_);
+  ctx.mat_nn(source_, gate_);
+  ctx.mat_nn(source_, drain_);
+  ctx.mat_nn(source_, source_);
+}
+
 double FinFETElement::current(const SolutionView& s) const {
   const double vgs = s.node_voltage(gate_) - s.node_voltage(source_);
   const double vds = s.node_voltage(drain_) - s.node_voltage(source_);

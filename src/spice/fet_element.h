@@ -17,6 +17,7 @@ class FinFETElement : public Device {
                 models::FinFETParams params);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   // Drain current, positive flowing drain -> source (NMOS convention; PMOS
   // conducts with negative values).
   double current(const SolutionView& s) const override;

@@ -15,6 +15,11 @@ void MTJElement::stamp(StampContext& ctx) {
   ctx.stamp_current(pinned_, free_, iv.current - iv.conductance * v);
 }
 
+void MTJElement::stamp_pattern(PatternContext& ctx) const {
+  // Resistive in both magnetic states.
+  ctx.conductance(pinned_, free_);
+}
+
 bool MTJElement::accept_step(const SolutionView& s, double, double dt) {
   const double i = current(s);
   const bool flipped = switching_.advance(mtj_, i, dt);

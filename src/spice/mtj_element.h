@@ -17,6 +17,7 @@ class MTJElement : public Device {
              models::MtjState initial = models::MtjState::kParallel);
 
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(PatternContext& ctx) const override;
   bool accept_step(const SolutionView& s, double time, double dt) override;
   double current(const SolutionView& s) const override;
   std::vector<TerminalRef> terminals() const override {

@@ -6,9 +6,25 @@
 
 #include "linalg/lu.h"
 #include "linalg/sparse_lu.h"
+#include "linalg/structure.h"
 #include "util/log.h"
 
 namespace nvsram::spice {
+
+NewtonOptions NewtonOptions::relaxed(int attempt) const {
+  NewtonOptions r = *this;
+  if (attempt <= 0) return r;
+  // One shared ladder for every retry loop: each attempt loosens the
+  // convergence budget 10x (floored at loose-but-sane values), doubles the
+  // iteration budget, and raises gmin to tame near-singular bias points.
+  const double scale = std::pow(10.0, attempt);
+  r.reltol = std::min(reltol * scale, 1e-2);
+  r.abstol_v = std::min(abstol_v * scale, 1e-4);
+  r.abstol_i = std::min(abstol_i * scale, 1e-7);
+  r.gmin = std::min(gmin * scale, 1e-9);
+  r.max_iterations = max_iterations * (attempt + 1);
+  return r;
+}
 
 std::string unknown_name(const Circuit& circuit, const MnaLayout& layout,
                          std::size_t index) {
@@ -30,7 +46,8 @@ std::size_t first_non_finite(const linalg::Vector& v) {
 
 NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
                           linalg::Vector& x, double time, double dt, bool dc,
-                          IntegrationMethod method, const NewtonOptions& opts) {
+                          IntegrationMethod method, const NewtonOptions& opts,
+                          NewtonWorkspace* ws) {
   const std::size_t n = layout.unknown_count();
   const std::size_t node_unknowns = layout.node_count() - 1;
   constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
@@ -111,13 +128,48 @@ NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
       linalg::LuFactorization lu;
       if (lu.factorize(a.to_dense())) {
         solved = lu.solve(rhs);
+        diag.structure = StructuralVerdict::kSound;
       } else {
         diag.singular_pivot = lu.failed_pivot();
-        if (lu.non_finite()) diag.non_finite = NonFiniteSite::kFactor;
+        if (lu.non_finite()) {
+          diag.non_finite = NonFiniteSite::kFactor;
+        } else {
+          // A full-pivot-search failure: ask whether the pattern itself can
+          // ever be nonsingular, so the diagnosis points at topology or at
+          // values, not just "singular".
+          const auto pattern =
+              linalg::SparsityPattern::from_triplets(n, builder.triplets());
+          diag.structure = linalg::maximum_matching(pattern).perfect(n)
+                               ? StructuralVerdict::kSound
+                               : StructuralVerdict::kSingular;
+        }
       }
     } else {
-      linalg::SparseLu lu;
-      if (lu.factorize(a)) {
+      // Sparse path: KLU-style analyze (symbolic, pattern-only) + refactor
+      // (numeric).  A caller-provided workspace keeps the analysis across
+      // solves; without one a local analysis gives bit-identical numerics.
+      linalg::SparseLu local;
+      linalg::SparseLu& lu = ws ? ws->sparse_lu : local;
+      bool ok = false;
+      bool analyzed = lu.analyzed() && lu.pattern_matches(a);
+      if (!analyzed) {
+        analyzed = lu.analyze(a);
+        if (analyzed && ws) ws->analyze_count++;
+      }
+      if (analyzed) {
+        diag.structure = StructuralVerdict::kSound;
+        ok = lu.refactor(a);
+        if (ws) ws->refactor_count++;
+        if (!ok && !lu.non_finite()) {
+          // Numeric failure of the fixed matching-based pivot order; the
+          // threshold-pivoting one-shot factorization may still succeed.
+          ok = lu.factorize(a);
+          if (ws) ws->fallback_count++;
+        }
+      } else {
+        diag.structure = StructuralVerdict::kSingular;
+      }
+      if (ok) {
         solved = lu.solve(rhs);
       } else {
         diag.singular_pivot = lu.failed_pivot();
@@ -133,7 +185,8 @@ NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
       util::log_warn() << "newton: "
                        << (diag.singular ? "singular system"
                                          : "non-finite LU factor")
-                       << " at t=" << time;
+                       << " at t=" << time
+                       << " (structure=" << to_string(diag.structure) << ")";
       return result;
     }
     if (const std::size_t bad = first_non_finite(*solved); bad != kNpos) {
@@ -199,10 +252,12 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
                                         IntegrationMethod method,
                                         const NewtonOptions& opts,
                                         const RecoveryOptions& recovery,
-                                        const util::Deadline* deadline) {
+                                        const util::Deadline* deadline,
+                                        NewtonWorkspace* ws) {
   const linalg::Vector x0 = x;
 
-  NewtonResult plain = solve_newton(circuit, layout, x, time, dt, dc, method, opts);
+  NewtonResult plain =
+      solve_newton(circuit, layout, x, time, dt, dc, method, opts, ws);
   if (plain.converged) return plain;
   if (deadline) deadline->check("recovery ladder");
 
@@ -219,7 +274,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
       if (deadline) deadline->check("recovery ladder (gmin ramp)");
       rung_opts.gmin = std::max(g, opts.gmin);
       rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
-                          rung_opts);
+                          rung_opts, ws);
       plain.iterations += rung.iterations;
       if (!rung.converged) {
         ladder_ok = false;
@@ -229,7 +284,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
     if (ladder_ok) {
       rung_opts.gmin = opts.gmin;
       rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
-                          rung_opts);
+                          rung_opts, ws);
       plain.iterations += rung.iterations;
       if (rung.converged) {
         x = std::move(attempt);
@@ -254,7 +309,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
       ramp_opts.source_scale = opts.source_scale * static_cast<double>(s) /
                                static_cast<double>(recovery.source_steps);
       rung = solve_newton(circuit, layout, attempt, time, dt, dc, method,
-                          ramp_opts);
+                          ramp_opts, ws);
       plain.iterations += rung.iterations;
       if (!rung.converged) {
         util::log_warn() << "newton: source ramp failed at scale "

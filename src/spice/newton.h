@@ -12,6 +12,7 @@
 #pragma once
 
 #include "linalg/dense.h"
+#include "linalg/sparse_lu.h"
 #include "spice/circuit.h"
 #include "spice/device.h"
 #include "spice/diagnostics.h"
@@ -27,6 +28,23 @@ struct NewtonOptions {
   double gmin = 1e-12;         // conductance added node -> ground
   double source_scale = 1.0;   // for source stepping
   double voltage_limit = 0.4;  // max per-iteration node-voltage update (V)
+
+  // Shared relaxation ladder for retry loops (sweep runners, benches):
+  // attempt 0 returns *this unchanged; each later attempt trades accuracy
+  // for robustness the same way everywhere instead of per-bench schedules.
+  NewtonOptions relaxed(int attempt) const;
+};
+
+// Per-analysis solver state that persists across Newton solves on one
+// circuit.  Holds the SparseLu symbolic analysis so re-solves on an
+// unchanged sparsity pattern skip the matching / ordering / symbolic
+// factorization and go straight to numerics (KLU-style refactorization).
+// The counters make the reuse observable in tests and benches.
+struct NewtonWorkspace {
+  linalg::SparseLu sparse_lu;
+  std::size_t analyze_count = 0;   // symbolic analyses performed
+  std::size_t refactor_count = 0;  // numeric-only refactorizations
+  std::size_t fallback_count = 0;  // refactor pivot failures -> full factorize
 };
 
 // Escalation ladder used when a plain solve fails: solve under heavy gmin
@@ -60,9 +78,15 @@ std::string unknown_name(const Circuit& circuit, const MnaLayout& layout,
 // Solves the system at (time, dt); `x` carries the initial guess in and the
 // solution out.  `dc` selects the operating-point companion (capacitors
 // open).  Branch unknown indices start at layout.node_count()-1.
+// `ws` (optional) carries the symbolic LU analysis between solves; pass the
+// same workspace for every solve on one circuit to reuse the analysis
+// whenever the sparsity pattern is unchanged.  Results are bit-identical
+// with and without a workspace (both paths run the same analyze+refactor
+// numerics; the workspace only skips redundant symbolic work).
 NewtonResult solve_newton(Circuit& circuit, const MnaLayout& layout,
                           linalg::Vector& x, double time, double dt, bool dc,
-                          IntegrationMethod method, const NewtonOptions& opts);
+                          IntegrationMethod method, const NewtonOptions& opts,
+                          NewtonWorkspace* ws = nullptr);
 
 // solve_newton plus the recovery ladder: on failure escalates through
 // gmin-ramping and source-ramping at the same timepoint.  On success the
@@ -83,6 +107,7 @@ NewtonResult solve_newton_with_recovery(Circuit& circuit,
                                         IntegrationMethod method,
                                         const NewtonOptions& opts,
                                         const RecoveryOptions& recovery,
-                                        const util::Deadline* deadline = nullptr);
+                                        const util::Deadline* deadline = nullptr,
+                                        NewtonWorkspace* ws = nullptr);
 
 }  // namespace nvsram::spice

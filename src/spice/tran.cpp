@@ -9,6 +9,19 @@
 
 namespace nvsram::spice {
 
+TranOptions TranOptions::relaxed(int attempt) const {
+  TranOptions r = *this;
+  if (attempt <= 0) return r;
+  r.newton = newton.relaxed(attempt);
+  // Loosen the truncation-error budget in step with Newton and let the
+  // controller take coarser steps before declaring underflow.
+  const double scale = std::pow(10.0, attempt);
+  r.lte_reltol = std::min(lte_reltol * scale, 2e-2);
+  r.lte_abstol = std::min(lte_abstol * scale, 1e-3);
+  r.dt_min = dt_min * scale;
+  return r;
+}
+
 TranAnalysis::TranAnalysis(Circuit& circuit, TranOptions options,
                            std::vector<Probe> probes)
     : circuit_(circuit), options_(options), probes_(std::move(probes)),
@@ -132,7 +145,7 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
     linalg::Vector x_new = x_pred;
     NewtonResult nr =
         solve_newton(circuit_, layout_, x_new, t + dt_try, dt_try, /*dc=*/false,
-                     options_.method, options_.newton);
+                     options_.method, options_.newton, &ws_);
     stats_.total_newton_iterations += static_cast<std::size_t>(nr.iterations);
 
     bool salvaged = false;
@@ -153,7 +166,8 @@ Waveform TranAnalysis::run(const DCSolution* initial) {
                                         dt_try, /*dc=*/false, options_.method,
                                         options_.newton, recovery,
                                         watchdog.unlimited() ? nullptr
-                                                             : &watchdog);
+                                                             : &watchdog,
+                                        &ws_);
         stats_.total_newton_iterations +=
             static_cast<std::size_t>(nr.iterations);
       }

@@ -45,6 +45,11 @@ struct TranOptions {
   // Wall-clock watchdog: run() throws util::WatchdogError once the run has
   // consumed this many seconds.  0 => unlimited.
   double max_wall_seconds = 0.0;
+
+  // Shared relaxation ladder for retry loops (mirrors
+  // NewtonOptions::relaxed): attempt 0 is a no-op; later attempts loosen
+  // the Newton and LTE budgets and widen the step-size floor.
+  TranOptions relaxed(int attempt) const;
 };
 
 struct TranStats {
@@ -86,6 +91,9 @@ class TranAnalysis {
   MnaLayout layout_;
   TranStats stats_;
   std::unordered_map<std::string, double> energies_;
+  // Symbolic LU analysis shared by every Newton solve of the run (the
+  // sparsity pattern is fixed per circuit, so it is computed once).
+  NewtonWorkspace ws_;
 };
 
 }  // namespace nvsram::spice

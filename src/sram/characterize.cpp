@@ -25,12 +25,19 @@ std::string CellEnergetics::describe() const {
        << util::si_format(t_restore, "s")
        << (restore_verified ? "  [verified]" : "  [NOT VERIFIED]") << "\n";
   }
+  if (solver_recoveries() > 0) {
+    os << "  recoveries = " << solver_recoveries() << " (gmin "
+       << gmin_recoveries << ", source " << source_recoveries << ")\n";
+  }
   return os.str();
 }
 
 CellCharacterizer::CellCharacterizer(models::PaperParams pp,
-                                     double max_wall_seconds)
-    : pp_(pp), max_wall_seconds_(max_wall_seconds) {}
+                                     double max_wall_seconds,
+                                     int relax_attempt)
+    : pp_(pp),
+      max_wall_seconds_(max_wall_seconds),
+      relax_attempt_(relax_attempt) {}
 
 CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
   // One wall-clock budget spans the whole characterization.  Each testbench
@@ -46,9 +53,10 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
   out.t_clk = pp_.clock_period();
 
   // ---- transient script: writes, reads, (store, shutdown, restore) ----
-  CellTestbench tb(kind, pp_,
-                   TestbenchOptions{.max_wall_seconds =
-                                        remaining("characterize: op script")});
+  CellTestbench tb(
+      kind, pp_,
+      TestbenchOptions{.max_wall_seconds = remaining("characterize: op script"),
+                       .relax_attempt = relax_attempt_});
   tb.op_write(true);
   tb.op_write(false);
   tb.op_write(true);   // measured write (steady-state bitline toggling)
@@ -64,6 +72,8 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     tb.op_idle(2e-9);
   }
   auto res = tb.run();
+  out.gmin_recoveries += res.stats.gmin_recoveries;
+  out.source_recoveries += res.stats.source_recoveries;
 
   const auto& wr = res.phase("write1", 1);
   out.e_write = res.energy(wr);
@@ -96,21 +106,25 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
 
   // ---- sleep transition energy (separate short script) ----
   {
-    CellTestbench tbs(kind, pp_,
-                      TestbenchOptions{
-                          .max_wall_seconds = remaining("characterize: sleep")});
+    CellTestbench tbs(
+        kind, pp_,
+        TestbenchOptions{.max_wall_seconds = remaining("characterize: sleep"),
+                         .relax_attempt = relax_attempt_});
     tbs.op_write(true);
     tbs.op_idle(2e-9);
     tbs.op_sleep(60e-9);
     tbs.op_idle(2e-9);
     auto rs = tbs.run();
+    out.gmin_recoveries += rs.stats.gmin_recoveries;
+    out.source_recoveries += rs.stats.source_recoveries;
     const auto& slp = rs.phase("sleep");
     const double e_total = rs.energy(slp);
     // Subtract the static retention part to isolate the transition cost.
-    CellTestbench tbd(kind, pp_,
-                      TestbenchOptions{
-                          .ideal_bitlines = true,
-                          .max_wall_seconds = remaining("characterize: sleep")});
+    CellTestbench tbd(
+        kind, pp_,
+        TestbenchOptions{.ideal_bitlines = true,
+                         .max_wall_seconds = remaining("characterize: sleep"),
+                         .relax_attempt = relax_attempt_});
     const double p_slp = tbd.static_power(CellTestbench::StaticMode::kSleep);
     out.e_sleep_transition = std::max(0.0, e_total - p_slp * slp.duration());
   }
@@ -119,7 +133,8 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
   CellTestbench tbd(
       kind, pp_,
       TestbenchOptions{.ideal_bitlines = true,
-                       .max_wall_seconds = remaining("characterize: static")});
+                       .max_wall_seconds = remaining("characterize: static"),
+                       .relax_attempt = relax_attempt_});
   out.p_static_normal =
       0.5 * (tbd.static_power(CellTestbench::StaticMode::kNormal, true) +
              tbd.static_power(CellTestbench::StaticMode::kNormal, false));

@@ -35,6 +35,17 @@ struct CellEnergetics {
   bool store_verified = false;    // MTJs reached the post-store states
   bool restore_verified = false;  // data recovered after full power collapse
 
+  // Recovery-ladder telemetry accumulated over the characterization
+  // transients (op script + sleep script): how many timesteps needed the
+  // gmin ramp or a source ramp to converge.  Nonzero counts on nominal
+  // parameters indicate the operating point is near the solver's comfort
+  // zone — benches print these so silent rescues are visible.
+  std::size_t gmin_recoveries = 0;
+  std::size_t source_recoveries = 0;
+  std::size_t solver_recoveries() const {
+    return gmin_recoveries + source_recoveries;
+  }
+
   std::string describe() const;
 };
 
@@ -44,9 +55,13 @@ class CellCharacterizer {
   // transient script, the sleep-transition script, and the DC static-power
   // solves share the budget); expiry throws util::WatchdogError.  0 =
   // unlimited.  Sweep points that characterize cells should pass their
-  // PointContext::timeout_sec here.
+  // PointContext::timeout_sec here.  `relax_attempt` selects a rung of the
+  // shared relaxation ladder (NewtonOptions::relaxed) for every analysis;
+  // retry callbacks pass their PointContext::attempt so re-runs loosen
+  // tolerances uniformly.
   explicit CellCharacterizer(models::PaperParams pp,
-                             double max_wall_seconds = 0.0);
+                             double max_wall_seconds = 0.0,
+                             int relax_attempt = 0);
 
   // Runs the characterization script for a 6T or NV-SRAM cell.
   CellEnergetics characterize(CellKind kind) const;
@@ -83,6 +98,7 @@ class CellCharacterizer {
  private:
   models::PaperParams pp_;
   double max_wall_seconds_ = 0.0;
+  int relax_attempt_ = 0;
 };
 
 }  // namespace nvsram::sram

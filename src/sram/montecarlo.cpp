@@ -82,6 +82,7 @@ MonteCarloSummary MonteCarlo::store_margin(int samples, double min_overdrive) {
   for (int s = 0; s < samples; ++s) {
     TestbenchOptions opts;
     opts.ideal_bitlines = true;
+    opts.relax_attempt = spec_.relax_attempt;
     opts.fet_vary = draw_fet_vary();
     opts.mtj_vary = draw_mtj_vary();
     CellTestbench tb(CellKind::kNvSram, pp_, opts);

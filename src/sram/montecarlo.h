@@ -28,6 +28,10 @@ struct VariationSpec {
   double ra_rel_sigma = 0.05;   // fraction
   double jc_rel_sigma = 0.05;   // fraction
   unsigned seed = 12345;
+  // Rung of the shared relaxation ladder (NewtonOptions::relaxed) applied
+  // to every per-sample analysis; retry callbacks pass their
+  // PointContext::attempt so re-runs loosen tolerances uniformly.
+  int relax_attempt = 0;
 };
 
 struct MonteCarloSummary {

@@ -311,6 +311,7 @@ CellTestbench::RunResult CellTestbench::run() {
                     : std::clamp(topt.t_stop / 1000.0, 50e-12, 5e-9);
   topt.method = opts_.method;
   topt.max_wall_seconds = opts_.max_wall_seconds;
+  topt = topt.relaxed(opts_.relax_attempt);
 
   spice::TranAnalysis tran(circuit_, topt, probes);
   RunResult out{tran.run(), phases_, source_names, tran.stats()};
@@ -441,6 +442,7 @@ std::optional<spice::DCSolution> CellTestbench::solve_dc(
   const linalg::Vector guess = dc_guess(bias, data);
   spice::DCOptions dopt;
   dopt.max_wall_seconds = opts_.max_wall_seconds;
+  dopt.newton = dopt.newton.relaxed(opts_.relax_attempt);
   spice::DCAnalysis dc(circuit_, dopt);
   auto sol = dc.solve(&guess);
   last_dc_diag_ = dc.last_diagnostics();

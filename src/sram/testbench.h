@@ -46,6 +46,11 @@ struct TestbenchOptions {
   // sram/characterize.h), which is how PointContext::timeout_sec reaches
   // the SPICE substrate.
   double max_wall_seconds = 0.0;
+  // Rung of the shared relaxation ladder (NewtonOptions::relaxed /
+  // TranOptions::relaxed) applied to every analysis this bench runs.
+  // 0 = paper-accuracy tolerances; retry loops bump it on failure so all
+  // benches loosen identically instead of inventing per-bench schedules.
+  int relax_attempt = 0;
   // Monte-Carlo mismatch hooks, applied to the cell's own devices (not the
   // periphery): see sram/cell.h.
   FetVary fet_vary;

@@ -1,0 +1,441 @@
+// Structural MNA analysis: the linalg structure pass, analyze_structure
+// fixtures (floating gates, dangling branches, disconnected blocks), the
+// nvlint structural rules, the no-false-positive sweep over every shipped
+// netlist and testbench circuit, and the NewtonWorkspace symbolic reuse
+// (bit-identical results, analyze-once counters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "linalg/structure.h"
+#include "lint/linter.h"
+#include "models/paper_params.h"
+#include "spice/circuit.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/fet_element.h"
+#include "spice/mtj_element.h"
+#include "spice/netlist_parser.h"
+#include "spice/newton.h"
+#include "spice/structural_analysis.h"
+#include "sram/array.h"
+#include "sram/testbench.h"
+
+namespace nvsram {
+namespace {
+
+using models::PaperParams;
+using spice::Circuit;
+using spice::kGround;
+
+// ---- linalg structure pass --------------------------------------------------
+
+linalg::SparsityPattern pattern_of(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& pos) {
+  std::vector<linalg::Triplet> t;
+  for (const auto& [r, c] : pos) t.push_back({r, c, 1.0});
+  return linalg::SparsityPattern::from_triplets(n, t);
+}
+
+TEST(Structure, PerfectMatchingOnFullDiagonal) {
+  const auto p = pattern_of(3, {{0, 0}, {1, 1}, {2, 2}, {0, 2}});
+  const auto m = linalg::maximum_matching(p);
+  EXPECT_TRUE(m.perfect(3));
+  EXPECT_TRUE(m.unmatched_rows().empty());
+  EXPECT_TRUE(m.unmatched_cols().empty());
+}
+
+TEST(Structure, MatchingFindsOffDiagonalTransversal) {
+  // Antidiagonal: no (i, i) positions at all, still structurally sound.
+  const auto p = pattern_of(3, {{0, 2}, {1, 1}, {2, 0}});
+  EXPECT_TRUE(linalg::maximum_matching(p).perfect(3));
+}
+
+TEST(Structure, DeficientPatternNamesTheDefect) {
+  // Column 2 is empty and row 2 is empty: deficiency 1 on each side.
+  const auto p = pattern_of(3, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  const auto m = linalg::maximum_matching(p);
+  EXPECT_FALSE(m.perfect(3));
+  EXPECT_EQ(m.size, 2u);
+  ASSERT_EQ(m.unmatched_rows().size(), 1u);
+  ASSERT_EQ(m.unmatched_cols().size(), 1u);
+  EXPECT_EQ(m.unmatched_rows()[0], 2u);
+  EXPECT_EQ(m.unmatched_cols()[0], 2u);
+}
+
+TEST(Structure, DulmageMendelsohnImplicatesAlternatingReachableSet) {
+  // Rows 1 and 2 both depend only on column 0: one of them stays unmatched
+  // and DM must implicate BOTH rows (they compete for the same unknown).
+  const auto p = pattern_of(3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}});
+  const auto m = linalg::maximum_matching(p);
+  EXPECT_EQ(m.size, 2u);
+  const auto dm = linalg::dulmage_mendelsohn(p, m);
+  EXPECT_EQ(dm.overdetermined_rows.size(), 2u);
+  EXPECT_TRUE(std::count(dm.overdetermined_rows.begin(),
+                         dm.overdetermined_rows.end(), 1u));
+  EXPECT_TRUE(std::count(dm.overdetermined_rows.begin(),
+                         dm.overdetermined_rows.end(), 2u));
+  // The contested unknown is column 0.
+  ASSERT_EQ(dm.overdetermined_cols.size(), 1u);
+  EXPECT_EQ(dm.overdetermined_cols[0], 0u);
+}
+
+TEST(Structure, ConnectedComponentsSplitsIndependentBlocks) {
+  const auto p = pattern_of(4, {{0, 0}, {0, 1}, {1, 0}, {2, 2}, {3, 3}});
+  const auto c = linalg::connected_components(p);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.row_component[0], c.row_component[1]);
+  EXPECT_NE(c.row_component[0], c.row_component[2]);
+  EXPECT_NE(c.row_component[2], c.row_component[3]);
+}
+
+TEST(Structure, MinDegreeOrderIsAPermutation) {
+  const auto p = pattern_of(
+      4, {{0, 0}, {0, 3}, {1, 1}, {2, 2}, {3, 0}, {3, 3}, {1, 2}, {2, 1}});
+  const auto m = linalg::maximum_matching(p);
+  ASSERT_TRUE(m.perfect(4));
+  const auto order = linalg::min_degree_order(p, m);
+  std::set<std::size_t> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.rbegin(), 3u);
+}
+
+// ---- analyze_structure fixtures ---------------------------------------------
+
+TEST(StructuralAnalysis, FloatingFetGateIsSingularWithNamedCulprits) {
+  // Power-switch gate 'pg' driven by nothing but a capacitor: at DC the
+  // capacitor stamps no positions and the FET gate row is empty (insulated
+  // gate), so KCL at 'pg' can never be pivoted — singular for every value.
+  const auto pp = PaperParams::table1();
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto vvdd = ckt.node("vvdd");
+  const auto pg = ckt.node("pg");
+  ckt.add<spice::VSource>("V1", vdd, kGround, spice::SourceSpec::dc(0.9));
+  spice::add_finfet(ckt, "Mpsw", vvdd, pg, vdd, pp.pmos(1));
+  ckt.add<spice::Resistor>("R1", vvdd, kGround, 10e3);
+  ckt.add<spice::Capacitor>("C1", pg, kGround, 1e-15);
+
+  const auto report = spice::analyze_structure(ckt, /*dc=*/true);
+  EXPECT_TRUE(report.structurally_singular);
+  EXPECT_FALSE(report.clean());
+  ASSERT_FALSE(report.unsolvable_equations.empty());
+  const auto& eq = report.unsolvable_equations.front();
+  EXPECT_EQ(eq.unknown, "V(pg)");
+  EXPECT_EQ(eq.node, "pg");
+  // Repair candidates: every device with a terminal at the defective node.
+  EXPECT_TRUE(std::count(eq.devices.begin(), eq.devices.end(), "Mpsw"));
+  EXPECT_TRUE(std::count(eq.devices.begin(), eq.devices.end(), "C1"));
+  // One unknown is also unmatched (deficiency is symmetric in count).
+  EXPECT_FALSE(report.undetermined_unknowns.empty());
+}
+
+TEST(StructuralAnalysis, TransientPatternAbsorbsTheGateDefect) {
+  // Same circuit, dc=false: the capacitor's companion conductance restores
+  // the 'pg' row, so the transient pattern is structurally sound.
+  const auto pp = PaperParams::table1();
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto vvdd = ckt.node("vvdd");
+  const auto pg = ckt.node("pg");
+  ckt.add<spice::VSource>("V1", vdd, kGround, spice::SourceSpec::dc(0.9));
+  spice::add_finfet(ckt, "Mpsw", vvdd, pg, vdd, pp.pmos(1));
+  ckt.add<spice::Resistor>("R1", vvdd, kGround, 10e3);
+  ckt.add<spice::Capacitor>("C1", pg, kGround, 1e-15);
+
+  const auto report = spice::analyze_structure(ckt, /*dc=*/false);
+  EXPECT_FALSE(report.structurally_singular);
+  EXPECT_TRUE(report.unsolvable_equations.empty());
+}
+
+TEST(StructuralAnalysis, GroundStrappedSourceIsADanglingBranch) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add<spice::VSource>("V1", a, kGround, spice::SourceSpec::dc(1.0));
+  ckt.add<spice::Resistor>("R1", a, kGround, 1e3);
+  // Both terminals grounded: the branch row AND column are empty.
+  ckt.add<spice::VSource>("Vbad", kGround, kGround, spice::SourceSpec::dc(0.5));
+
+  const auto report = spice::analyze_structure(ckt, /*dc=*/true);
+  ASSERT_EQ(report.dangling_branches.size(), 1u);
+  const auto& d = report.dangling_branches.front();
+  EXPECT_EQ(d.device, "Vbad");
+  EXPECT_EQ(d.unknown, "I(Vbad)");
+  EXPECT_TRUE(d.empty_row);
+  EXPECT_TRUE(d.empty_col);
+  EXPECT_TRUE(report.structurally_singular);  // the empty row/col unmatches
+}
+
+TEST(StructuralAnalysis, UngroundedMtjIslandIsAFloatingBlock) {
+  // An MTJ + resistor pair with no path to ground: structurally matchable
+  // (every row has its diagonal) yet numerically singular — its KCL rows
+  // sum to zero.  Must surface as a floating block, NOT as singular.
+  const auto pp = PaperParams::table1();
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto x = ckt.node("x");
+  const auto y = ckt.node("y");
+  ckt.add<spice::VSource>("V1", a, kGround, spice::SourceSpec::dc(0.9));
+  ckt.add<spice::Resistor>("R1", a, kGround, 1e3);
+  ckt.add<spice::MTJElement>("Y1", x, y, pp.mtj);
+  ckt.add<spice::Resistor>("R2", x, y, 10e3);
+
+  const auto report = spice::analyze_structure(ckt, /*dc=*/true);
+  EXPECT_FALSE(report.structurally_singular);
+  ASSERT_EQ(report.floating_blocks.size(), 1u);
+  const auto& blk = report.floating_blocks.front();
+  EXPECT_EQ(blk.unknowns.size(), 2u);
+  EXPECT_TRUE(std::count(blk.unknowns.begin(), blk.unknowns.end(), "V(x)"));
+  EXPECT_TRUE(std::count(blk.unknowns.begin(), blk.unknowns.end(), "V(y)"));
+  EXPECT_TRUE(std::count(blk.devices.begin(), blk.devices.end(), "Y1"));
+  EXPECT_TRUE(std::count(blk.devices.begin(), blk.devices.end(), "R2"));
+}
+
+TEST(StructuralAnalysis, SoundCircuitYieldsEliminationOrder) {
+  const auto pp = PaperParams::table1();
+  Circuit ckt;
+  const auto q = ckt.node("q");
+  const auto qb = ckt.node("qb");
+  const auto vdd = ckt.node("vdd");
+  ckt.add<spice::VSource>("Vdd", vdd, kGround, spice::SourceSpec::dc(0.9));
+  spice::add_finfet(ckt, "pu_q", q, qb, vdd, pp.pmos(1));
+  spice::add_finfet(ckt, "pd_q", q, qb, kGround, pp.nmos(1));
+  spice::add_finfet(ckt, "pu_qb", qb, q, vdd, pp.pmos(1));
+  spice::add_finfet(ckt, "pd_qb", qb, q, kGround, pp.nmos(1));
+
+  const auto report = spice::analyze_structure(ckt, /*dc=*/true);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.elimination_order.size(), report.unknown_count);
+  std::set<std::size_t> seen(report.elimination_order.begin(),
+                             report.elimination_order.end());
+  EXPECT_EQ(seen.size(), report.unknown_count);
+}
+
+// ---- nvlint structural rules ------------------------------------------------
+
+std::unique_ptr<spice::ParsedNetlist> parse(const std::string& text) {
+  spice::NetlistParser p;
+  return p.parse(text);
+}
+
+TEST(StructureLint, FloatingGateNetlistRejectedWithLineNumbers) {
+  auto net = parse(
+      "floating power-switch gate\n"
+      "V1 vdd 0 DC 0.9\n"
+      "Mpsw vvdd pg vdd pfin\n"
+      "R1 vvdd 0 10k\n"
+      "C1 pg 0 1f\n"
+      ".probe v(vvdd)\n"
+      ".dc V1 0 0.9 5\n");
+  const auto diags = net->lint().by_rule(lint::rules::kStructuralSingular);
+  ASSERT_FALSE(diags.empty());
+  bool named_pg = false;
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.severity, lint::Severity::kError);
+    EXPECT_GT(d.line, 0);
+    if (d.message.find("V(pg)") != std::string::npos) named_pg = true;
+  }
+  EXPECT_TRUE(named_pg) << "diagnostics must name the defective unknown";
+}
+
+TEST(StructureLint, VsourceLoopIsSoundNotStructurallySingular) {
+  // Two sources forcing the same (non-ground) node pair: a value conflict,
+  // not a topology defect.  The matrix admits a perfect matching, so the
+  // structural rules must stay quiet while vsource-loop fires.
+  auto net = parse(
+      "conflicting sources\n"
+      "V1 a b DC 1\n"
+      "V2 a b DC 2\n"
+      "R1 a 0 1k\n"
+      "R2 b 0 1k\n");
+  const auto report = net->lint();
+  EXPECT_FALSE(report.by_rule(lint::rules::kVsourceLoop).empty());
+  EXPECT_TRUE(report.by_rule(lint::rules::kStructuralSingular).empty());
+  EXPECT_TRUE(report.by_rule(lint::rules::kDanglingBranchEquation).empty());
+}
+
+TEST(StructureLint, DisconnectedBlockWarnsOnce) {
+  auto net = parse(
+      "island\n"
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 x y 1k\n");
+  const auto diags = net->lint().by_rule(lint::rules::kDisconnectedBlock);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, lint::Severity::kWarning);
+  EXPECT_EQ(diags[0].line, 4);  // R2 defines the island
+}
+
+TEST(StructureLint, GroundStrappedSourceFlagsDanglingBranch) {
+  auto net = parse(
+      "strapped\n"
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "Vbad 0 0 DC 0.5\n");
+  const auto diags = net->lint().by_rule(lint::rules::kDanglingBranchEquation);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].device, "Vbad");
+  EXPECT_EQ(diags[0].severity, lint::Severity::kError);
+}
+
+// ---- no false positives on everything we ship -------------------------------
+
+TEST(StructureLint, AllShippedNetlistsAreStructurallyClean) {
+  namespace fs = std::filesystem;
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(NVSRAM_NETLIST_DIR)) {
+    if (entry.path().extension() != ".cir") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto report = parse(ss.str())->lint();
+    for (const char* rule :
+         {lint::rules::kStructuralSingular, lint::rules::kDisconnectedBlock,
+          lint::rules::kDanglingBranchEquation}) {
+      EXPECT_TRUE(report.by_rule(rule).empty())
+          << entry.path() << " trips " << rule << ":\n" << report.format();
+    }
+  }
+  EXPECT_GE(seen, 5u);
+}
+
+TEST(StructureLint, TestbenchCircuitsAreStructurallyClean) {
+  const auto pp = PaperParams::table1();
+  for (auto kind : {sram::CellKind::k6T, sram::CellKind::kNvSram}) {
+    sram::CellTestbench tb(kind, pp);
+    const auto report = lint::lint_circuit(tb.circuit());
+    for (const char* rule :
+         {lint::rules::kStructuralSingular, lint::rules::kDisconnectedBlock,
+          lint::rules::kDanglingBranchEquation}) {
+      EXPECT_TRUE(report.by_rule(rule).empty())
+          << "testbench kind=" << static_cast<int>(kind) << " trips " << rule
+          << ":\n" << report.format();
+    }
+  }
+}
+
+TEST(StructuralAnalysis, ArrayScalePatternIsCleanAndOrdered) {
+  sram::ArrayOptions opts;
+  opts.rows = 4;
+  opts.cols = 4;
+  opts.nonvolatile = true;
+  sram::ArrayTestbench tb(PaperParams::table1(), opts);
+  const auto report = spice::analyze_structure(tb.circuit(), /*dc=*/true);
+  EXPECT_TRUE(report.clean()) << "array circuit must not trip the analyzer";
+  EXPECT_EQ(report.elimination_order.size(), report.unknown_count);
+  std::set<std::size_t> seen(report.elimination_order.begin(),
+                             report.elimination_order.end());
+  EXPECT_EQ(seen.size(), report.unknown_count);
+}
+
+// ---- NewtonWorkspace: symbolic reuse ----------------------------------------
+
+sram::ArrayTestbench make_array_bench() {
+  sram::ArrayOptions opts;
+  opts.rows = 6;
+  opts.cols = 6;
+  opts.nonvolatile = true;
+  return sram::ArrayTestbench(PaperParams::table1(), opts);
+}
+
+TEST(NewtonWorkspace, ResultsAreBitIdenticalWithAndWithoutWorkspace) {
+  // Two identically constructed array circuits (above the dense cutoff, so
+  // both go through SparseLu); one solve carries a workspace, one does not.
+  auto tb1 = make_array_bench();
+  auto tb2 = make_array_bench();
+  const spice::MnaLayout l1 = tb1.circuit().build_layout();
+  const spice::MnaLayout l2 = tb2.circuit().build_layout();
+  ASSERT_GT(l1.unknown_count(), linalg::kDenseCutoff);
+  ASSERT_EQ(l1.unknown_count(), l2.unknown_count());
+
+  linalg::Vector x1(l1.unknown_count(), 0.0);
+  linalg::Vector x2(l2.unknown_count(), 0.0);
+  const spice::NewtonOptions opts;
+  spice::NewtonWorkspace ws;
+  const auto r1 =
+      spice::solve_newton(tb1.circuit(), l1, x1, 0.0, 0.0, /*dc=*/true,
+                          spice::IntegrationMethod::kTrapezoidal, opts);
+  const auto r2 =
+      spice::solve_newton(tb2.circuit(), l2, x2, 0.0, 0.0, /*dc=*/true,
+                          spice::IntegrationMethod::kTrapezoidal, opts, &ws);
+  EXPECT_EQ(r1.converged, r2.converged);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_EQ(x1[i], x2[i]) << "unknown " << i << " diverged";
+  }
+  // Reuse must dominate: far more numeric refactors than symbolic analyses.
+  // (A cold start can cost an extra analysis when the all-cutoff first
+  // iterate defeats the fixed pivot order and the threshold-pivoting
+  // fallback invalidates it.)
+  EXPECT_GE(ws.analyze_count, 1u);
+  EXPECT_GT(ws.refactor_count, ws.analyze_count);
+}
+
+TEST(NewtonWorkspace, WarmResolveReusesTheSymbolicAnalysis) {
+  auto tb = make_array_bench();
+  const spice::MnaLayout layout = tb.circuit().build_layout();
+  spice::DCAnalysis dc(tb.circuit());
+  const auto first = dc.solve();
+  ASSERT_TRUE(first.has_value());
+  const std::size_t analyzes = dc.workspace().analyze_count;
+  const std::size_t refactors = dc.workspace().refactor_count;
+  EXPECT_GE(analyzes, 1u);
+  EXPECT_GE(refactors, 1u);
+
+  // Warm re-solve from the converged point: every iteration hits the
+  // refactor fast path, so the analysis count must not move.
+  const linalg::Vector guess = first->raw();
+  ASSERT_TRUE(dc.solve(&guess).has_value());
+  EXPECT_EQ(dc.workspace().analyze_count, analyzes)
+      << "warm re-solve must reuse the symbolic analysis";
+  EXPECT_GT(dc.workspace().refactor_count, refactors);
+}
+
+TEST(NewtonWorkspace, StructuralVerdictSoundOnNumericFailure) {
+  // Injected singular fault on a sound circuit: the diagnostics must say
+  // "structurally sound" so the failure reads as a value problem.
+  auto tb = make_array_bench();
+  tb.circuit().set_fault_plan(spice::FaultPlan::parse("singular@0x-1"));
+  spice::DCAnalysis dc(tb.circuit());
+  EXPECT_FALSE(dc.solve().has_value());
+  EXPECT_TRUE(dc.last_diagnostics().singular);
+}
+
+// ---- shared relaxation presets ----------------------------------------------
+
+TEST(RelaxationLadder, AttemptZeroIsIdentity) {
+  spice::NewtonOptions base;
+  base.reltol = 1e-4;
+  const auto r = base.relaxed(0);
+  EXPECT_EQ(r.reltol, base.reltol);
+  EXPECT_EQ(r.abstol_v, base.abstol_v);
+  EXPECT_EQ(r.gmin, base.gmin);
+  EXPECT_EQ(r.max_iterations, base.max_iterations);
+}
+
+TEST(RelaxationLadder, LaterAttemptsLoosenMonotonicallyAndCap) {
+  const spice::NewtonOptions base;
+  const auto r1 = base.relaxed(1);
+  const auto r2 = base.relaxed(2);
+  EXPECT_GT(r1.reltol, base.reltol);
+  EXPECT_GE(r2.reltol, r1.reltol);
+  EXPECT_GT(r1.max_iterations, base.max_iterations);
+  EXPECT_LE(r2.reltol, 1e-2);  // hard cap: never worse than 1%
+  EXPECT_LE(base.relaxed(9).reltol, 1e-2);
+
+  spice::TranOptions topt;
+  const auto t1 = topt.relaxed(1);
+  EXPECT_GT(t1.lte_reltol, topt.lte_reltol);
+  EXPECT_GT(t1.newton.reltol, topt.newton.reltol);
+  EXPECT_LE(topt.relaxed(9).lte_reltol, 2e-2);
+}
+
+}  // namespace
+}  // namespace nvsram
