@@ -2,29 +2,46 @@
 //
 // Usage:
 //   nvlint [options] <netlist.cir>...
-//   nvlint --rules
+//   nvlint [options] --bench=<nvpg|nof|osr|all>
+//   nvlint --rules | --list-rules
 //
 // Options:
 //   --rules          print the rule catalog (id, default severity, summary)
+//   --list-rules     tabular catalog: rule id, family, default severity
 //   --disable=<id>   disable a rule (repeatable)
 //   --werror         exit nonzero on warnings as well as errors
+//   --werror=<glob>  promote warnings whose rule id matches the glob to
+//                    errors for exit-status purposes (repeatable; '*'
+//                    wildcards, e.g. --werror=protocol-*)
+//   --bench=<arch>   instead of (or in addition to) netlists, build the
+//                    scheduled benchmark deck for an architecture (nvpg,
+//                    nof, osr, or all), export its stimulus timeline, and
+//                    run the temporal protocol + units passes over it.
+//                    Reported as pseudo-file "bench:<arch>"; no transient
+//                    is solved.
 //   --format=json    machine-readable output: a JSON array with one object
 //                    per file {file, parse_failed, errors, warnings,
 //                    diagnostics:[{rule, severity, file, line, message,
-//                    device, node}]} (CI gates parse this)
+//                    device, node, phase}]} (CI gates parse this)
 //   -q, --quiet      print only the per-file summary lines
 //
-// Exit status: 0 clean, 1 lint errors (or warnings with --werror),
-// 2 parse failure or unreadable file.
+// Exit status: 0 clean, 1 lint errors (or warnings with --werror /
+// --werror=<glob> matches), 2 parse failure or unreadable file.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/linter.h"
+#include "lint/temporal/protocol.h"
+#include "lint/temporal/timeline.h"
+#include "lint/temporal/units_check.h"
 #include "spice/netlist_parser.h"
+#include "sram/schedules.h"
 
 namespace {
 
@@ -36,10 +53,44 @@ void print_rules() {
   }
 }
 
+void print_rule_list() {
+  std::size_t width = 0;
+  for (const auto& rule : nvsram::lint::rule_catalog()) {
+    width = std::max(width, std::string(rule.id).size());
+  }
+  for (const auto& rule : nvsram::lint::rule_catalog()) {
+    std::cout << std::left << std::setw(static_cast<int>(width) + 2) << rule.id
+              << std::setw(12) << rule.family << to_string(rule.severity)
+              << "\n";
+  }
+}
+
+// '*'-wildcard match (no character classes; enough for rule-family globs
+// like "protocol-*").
+bool glob_match(const std::string& pattern, const std::string& s) {
+  std::size_t p = 0, i = 0, star = std::string::npos, mark = 0;
+  while (i < s.size()) {
+    if (p < pattern.size() && (pattern[p] == s[i])) {
+      ++p, ++i;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = i;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 struct FileResult {
   bool parse_failed = false;
   std::size_t errors = 0;
   std::size_t warnings = 0;
+  std::size_t werror_hits = 0;  // warnings promoted by --werror=<glob>
 };
 
 // Minimal JSON string escaping (quotes, backslashes, control characters).
@@ -73,56 +124,32 @@ void print_json_diagnostic(std::ostream& os, const std::string& path,
      << to_string(d.severity) << "\", \"file\": \"" << json_escape(path)
      << "\", \"line\": " << d.line << ", \"message\": \""
      << json_escape(d.message) << "\", \"device\": \"" << json_escape(d.device)
-     << "\", \"node\": \"" << json_escape(d.node) << "\"}";
+     << "\", \"node\": \"" << json_escape(d.node) << "\", \"phase\": \""
+     << json_escape(d.phase) << "\"}";
 }
 
-FileResult lint_file(const std::string& path,
-                     const nvsram::lint::LintOptions& options, bool quiet,
-                     bool json, bool first_file) {
+// Shared reporting tail for real files and bench pseudo-files.
+FileResult report_diagnostics(const std::string& path,
+                              const nvsram::lint::LintReport& report,
+                              const std::vector<std::string>& werror_globs,
+                              bool quiet, bool json, bool first_file) {
   using namespace nvsram;
   FileResult result;
-
-  auto json_header = [&](bool parse_failed) {
-    if (!json) return;
-    if (!first_file) std::cout << ",";
-    std::cout << "\n  {\"file\": \"" << json_escape(path)
-              << "\", \"parse_failed\": " << (parse_failed ? "true" : "false");
-  };
-
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << path << ": cannot open file\n";
-    result.parse_failed = true;
-    if (json) {
-      json_header(true);
-      std::cout << ", \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}";
-    }
-    return result;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-
-  spice::NetlistParser parser;
-  std::unique_ptr<spice::ParsedNetlist> net;
-  try {
-    net = parser.parse(ss.str());
-  } catch (const spice::NetlistError& e) {
-    std::cerr << path << ":" << e.line() << ": parse-error: " << e.what()
-              << "\n";
-    result.parse_failed = true;
-    if (json) {
-      json_header(true);
-      std::cout << ", \"errors\": 0, \"warnings\": 0, \"diagnostics\": []}";
-    }
-    return result;
-  }
-
-  const lint::LintReport report = net->lint(options);
   result.errors = report.count(lint::Severity::kError);
   result.warnings = report.count(lint::Severity::kWarning);
+  for (const auto& d : report.diagnostics()) {
+    if (d.severity != lint::Severity::kWarning) continue;
+    for (const auto& glob : werror_globs) {
+      if (glob_match(glob, d.rule)) {
+        ++result.werror_hits;
+        break;
+      }
+    }
+  }
   if (json) {
-    json_header(false);
-    std::cout << ", \"errors\": " << result.errors
+    if (!first_file) std::cout << ",";
+    std::cout << "\n  {\"file\": \"" << json_escape(path)
+              << "\", \"parse_failed\": false, \"errors\": " << result.errors
               << ", \"warnings\": " << result.warnings
               << ", \"diagnostics\": [";
     bool first = true;
@@ -137,7 +164,9 @@ FileResult lint_file(const std::string& path,
     for (const auto& d : report.diagnostics()) {
       std::cout << path << ":" << (d.line >= 0 ? std::to_string(d.line) : "-")
                 << ": " << to_string(d.severity) << "[" << d.rule
-                << "]: " << d.message << "\n";
+                << "]: " << d.message;
+      if (!d.phase.empty()) std::cout << " (phase " << d.phase << ")";
+      std::cout << "\n";
     }
   }
   std::cout << path << ": " << result.errors << " error(s), "
@@ -146,19 +175,120 @@ FileResult lint_file(const std::string& path,
   return result;
 }
 
+FileResult lint_file(const std::string& path,
+                     const nvsram::lint::LintOptions& options,
+                     const std::vector<std::string>& werror_globs, bool quiet,
+                     bool json, bool first_file) {
+  using namespace nvsram;
+  FileResult result;
+
+  auto json_parse_failure = [&]() {
+    if (!json) return;
+    if (!first_file) std::cout << ",";
+    std::cout << "\n  {\"file\": \"" << json_escape(path)
+              << "\", \"parse_failed\": true, \"errors\": 0, \"warnings\": 0, "
+                 "\"diagnostics\": []}";
+  };
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open file\n";
+    result.parse_failed = true;
+    json_parse_failure();
+    return result;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  spice::NetlistParser parser;
+  std::unique_ptr<spice::ParsedNetlist> net;
+  try {
+    net = parser.parse(ss.str());
+  } catch (const spice::NetlistError& e) {
+    std::cerr << path << ":" << e.line() << ": parse-error: " << e.what()
+              << "\n";
+    result.parse_failed = true;
+    json_parse_failure();
+    return result;
+  }
+
+  const lint::LintReport report = net->lint(options);
+  return report_diagnostics(path, report, werror_globs, quiet, json,
+                            first_file);
+}
+
+// Builds the scheduled benchmark deck for one architecture and runs the
+// temporal protocol + units passes over its exported timeline.  Purely
+// static: nothing is solved.
+FileResult lint_bench(nvsram::sram::BenchArch arch,
+                      const nvsram::lint::LintOptions& options,
+                      const std::vector<std::string>& werror_globs, bool quiet,
+                      bool json, bool first_file) {
+  using namespace nvsram;
+  const std::string path = std::string("bench:") + sram::to_string(arch);
+
+  models::PaperParams pp;
+  const sram::TestbenchOptions tb_opts;
+  const auto tb = sram::build_benchmark_schedule(arch, pp,
+                                                 sram::ScheduleParams{}, tb_opts);
+  const lint::temporal::Timeline tl = tb->export_timeline();
+
+  auto opt = lint::temporal::TemporalOptions::from_paper(pp);
+  switch (arch) {
+    case sram::BenchArch::kNVPG:
+      opt.arch = lint::temporal::TemporalOptions::Arch::kNVPG;
+      break;
+    case sram::BenchArch::kNOF:
+      opt.arch = lint::temporal::TemporalOptions::Arch::kNOF;
+      // The NOF cycle is stretched to embed the store (two steps of pulse +
+      // settle margin); the clock-store check compares against this
+      // effective budget, not the raw clock.
+      opt.clock_period += 2.0 * (pp.store_pulse + tb_opts.store_margin);
+      break;
+    case sram::BenchArch::kOSR:
+      opt.arch = lint::temporal::TemporalOptions::Arch::kOSR;
+      break;
+  }
+
+  lint::LintReport report;
+  auto add = [&](std::vector<lint::Diagnostic> diags) {
+    for (auto& d : diags) {
+      if (!options.enabled(d.rule)) continue;
+      if (d.severity < options.min_severity) continue;
+      report.add(std::move(d));
+    }
+  };
+  add(lint::temporal::check_timeline(tl, opt));
+  add(lint::temporal::check_timeline_units(tl));
+  add(lint::temporal::check_paper_params(pp));
+
+  return report_diagnostics(path, report, werror_globs, quiet, json,
+                            first_file);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   nvsram::lint::LintOptions options;
   std::vector<std::string> files;
+  std::vector<nvsram::sram::BenchArch> benches;
+  std::vector<std::string> werror_globs;
   bool quiet = false;
   bool werror = false;
   bool json = false;
+
+  const char* usage =
+      "usage: nvlint [--rules] [--list-rules] [--disable=<id>] [--werror] "
+      "[--werror=<glob>] [--bench=<nvpg|nof|osr|all>] [--format=json] [-q] "
+      "<netlist.cir>...\n";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rules") {
       print_rules();
+      return 0;
+    } else if (arg == "--list-rules") {
+      print_rule_list();
       return 0;
     } else if (arg.rfind("--disable=", 0) == 0) {
       const std::string id = arg.substr(10);
@@ -174,6 +304,26 @@ int main(int argc, char** argv) {
       options.disable(id);
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg.rfind("--werror=", 0) == 0) {
+      const std::string glob = arg.substr(9);
+      if (glob.empty()) {
+        std::cerr << "nvlint: empty --werror= glob\n";
+        return 2;
+      }
+      werror_globs.push_back(glob);
+    } else if (arg.rfind("--bench=", 0) == 0) {
+      const std::string id = arg.substr(8);
+      if (id == "all") {
+        benches.push_back(nvsram::sram::BenchArch::kNVPG);
+        benches.push_back(nvsram::sram::BenchArch::kNOF);
+        benches.push_back(nvsram::sram::BenchArch::kOSR);
+      } else if (auto arch = nvsram::sram::bench_arch_from_string(id)) {
+        benches.push_back(*arch);
+      } else {
+        std::cerr << "nvlint: unknown architecture '" << id
+                  << "' in --bench (nvpg, nof, osr, all)\n";
+        return 2;
+      }
     } else if (arg == "--format=json") {
       json = true;
     } else if (arg.rfind("--format=", 0) == 0) {
@@ -183,8 +333,7 @@ int main(int argc, char** argv) {
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: nvlint [--rules] [--disable=<id>] [--werror] "
-                   "[--format=json] [-q] <netlist.cir>...\n";
+      std::cout << usage;
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nvlint: unknown option '" << arg << "'\n";
@@ -193,28 +342,39 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) {
-    std::cerr << "usage: nvlint [--rules] [--disable=<id>] [--werror] "
-                 "[--format=json] [-q] <netlist.cir>...\n";
+  if (files.empty() && benches.empty()) {
+    std::cerr << usage;
     return 2;
   }
 
   bool any_parse_failed = false;
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
+  std::size_t total_werror_hits = 0;
   if (json) std::cout << "[";
-  bool first_file = true;
+  bool first = true;
   for (const auto& path : files) {
-    const FileResult r = lint_file(path, options, quiet, json, first_file);
-    first_file = false;
+    const FileResult r =
+        lint_file(path, options, werror_globs, quiet, json, first);
+    first = false;
     any_parse_failed = any_parse_failed || r.parse_failed;
     total_errors += r.errors;
     total_warnings += r.warnings;
+    total_werror_hits += r.werror_hits;
+  }
+  for (const auto arch : benches) {
+    const FileResult r =
+        lint_bench(arch, options, werror_globs, quiet, json, first);
+    first = false;
+    total_errors += r.errors;
+    total_warnings += r.warnings;
+    total_werror_hits += r.werror_hits;
   }
   if (json) std::cout << "\n]\n";
 
   if (any_parse_failed) return 2;
   if (total_errors > 0) return 1;
+  if (total_werror_hits > 0) return 1;
   if (werror && total_warnings > 0) return 1;
   return 0;
 }

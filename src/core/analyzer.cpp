@@ -1,5 +1,6 @@
 #include "core/analyzer.h"
 
+#include "sram/characterize_cache.h"
 #include "util/watchdog.h"
 
 namespace nvsram::core {
@@ -9,15 +10,15 @@ PowerGatingAnalyzer::PowerGatingAnalyzer(models::PaperParams pp,
                                          int relax_attempt)
     : pp_(pp) {
   // Both cell characterizations share one wall-clock budget; the second one
-  // only gets whatever the first left over.
+  // only gets whatever the first left over.  Goes through the process-wide
+  // cache: sweeps building many analyzers at the same parameter point pay
+  // for the SPICE characterization once.
   const util::Deadline phase(max_wall_seconds);
-  cell_6t_ =
-      sram::CellCharacterizer(pp_, phase.remaining_seconds(), relax_attempt)
-          .characterize(sram::CellKind::k6T);
+  cell_6t_ = sram::characterize_cached(pp_, sram::CellKind::k6T,
+                                       phase.remaining_seconds(), relax_attempt);
   phase.check("PowerGatingAnalyzer: characterization");
-  cell_nv_ =
-      sram::CellCharacterizer(pp_, phase.remaining_seconds(), relax_attempt)
-          .characterize(sram::CellKind::kNvSram);
+  cell_nv_ = sram::characterize_cached(pp_, sram::CellKind::kNvSram,
+                                       phase.remaining_seconds(), relax_attempt);
   model_ = std::make_unique<EnergyModel>(cell_6t_, cell_nv_);
 }
 

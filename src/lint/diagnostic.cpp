@@ -18,6 +18,7 @@ std::string Diagnostic::format() const {
   std::ostringstream ss;
   ss << to_string(severity) << '[' << rule << "]: " << message;
   if (line >= 0) ss << " (line " << line << ')';
+  if (!phase.empty()) ss << " (phase " << phase << ')';
   return ss.str();
 }
 

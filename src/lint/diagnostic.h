@@ -22,8 +22,9 @@ struct Diagnostic {
   std::string device;    // offending device name ("" when not device-bound)
   std::string node;      // offending node name ("" when not node-bound)
   int line = -1;         // 1-based netlist source line, -1 when unknown
+  std::string phase;     // testbench phase covering the event ("" when n/a)
 
-  // "error[no-dc-path]: node 'y' ... (line 7)"
+  // "error[no-dc-path]: node 'y' ... (line 7)" / "... (phase store)"
   std::string format() const;
 };
 

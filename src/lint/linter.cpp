@@ -7,6 +7,9 @@
 #include <unordered_set>
 
 #include "lint/graph.h"
+#include "lint/temporal/protocol.h"
+#include "lint/temporal/timeline.h"
+#include "lint/temporal/units_check.h"
 #include "spice/circuit.h"
 #include "spice/controlled.h"
 #include "spice/elements.h"
@@ -42,6 +45,7 @@ class Linter {
     if (netlist_ != nullptr) {
       check_cards();
       check_probes();
+      check_temporal();
       for (const auto& d : netlist_->parse_diagnostics()) {
         if (!options_.enabled(d.rule)) continue;
         if (d.severity < options_.min_severity) continue;
@@ -381,6 +385,24 @@ class Linter {
                  "core appears mis-wired",
              "", "", -1);
       }
+    }
+  }
+
+  // ---- protocol-* / units-*: temporal + dimensional passes ---------------
+  // Timeline extraction and the protocol state machine live in
+  // lint/temporal/; here we only run them over the parsed netlist and filter
+  // through the shared enable/severity options.
+  void check_temporal() {
+    const temporal::Timeline timeline = temporal::extract_timeline(*netlist_);
+    add_filtered(temporal::check_timeline(timeline, temporal::TemporalOptions{}));
+    add_filtered(temporal::check_netlist_units(*netlist_));
+  }
+
+  void add_filtered(std::vector<Diagnostic> diags) {
+    for (auto& d : diags) {
+      if (!options_.enabled(d.rule)) continue;
+      if (d.severity < options_.min_severity) continue;
+      report_.add(std::move(d));
     }
   }
 

@@ -4,40 +4,74 @@ namespace nvsram::lint {
 
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> kCatalog = {
-      {rules::kFloatNode, Severity::kWarning,
+      {rules::kFloatNode, "topology", Severity::kWarning,
        "node is attached to exactly one device pin"},
-      {rules::kNoDcPath, Severity::kError,
+      {rules::kNoDcPath, "topology", Severity::kError,
        "node has no DC conduction path to ground (MNA matrix is singular "
        "without gmin)"},
-      {rules::kVsourceLoop, Severity::kError,
+      {rules::kVsourceLoop, "topology", Severity::kError,
        "loop of voltage-defined branches (parallel or cyclic V/E devices)"},
-      {rules::kVsourceShorted, Severity::kError,
+      {rules::kVsourceShorted, "topology", Severity::kError,
        "voltage-defined branch with both terminals on the same node"},
-      {rules::kSelfConnected, Severity::kWarning,
+      {rules::kSelfConnected, "topology", Severity::kWarning,
        "device with all conducting terminals tied to one node (stamps cancel)"},
-      {rules::kNonphysicalValue, Severity::kError,
+      {rules::kNonphysicalValue, "params", Severity::kError,
        "non-physical device parameter (R/C/L <= 0, fins <= 0, MTJ tau0 <= 0)"},
-      {rules::kProbeUnresolved, Severity::kError,
+      {rules::kProbeUnresolved, "cards", Severity::kError,
        ".probe target does not resolve to a node/device of this circuit"},
-      {rules::kCardUnresolved, Severity::kError,
+      {rules::kCardUnresolved, "cards", Severity::kError,
        ".dc/.ac card names a source that does not exist"},
-      {rules::kSubcktUnusedPort, Severity::kWarning,
+      {rules::kSubcktUnusedPort, "cards", Severity::kWarning,
        ".subckt port is never referenced inside the definition body"},
-      {rules::kSramCrossCoupling, Severity::kWarning,
+      {rules::kSramCrossCoupling, "paper", Severity::kWarning,
        "MTJ-retention circuit lacks a cross-coupled inverter pair (6T core "
        "mis-wired?)"},
-      {rules::kMtjOrientation, Severity::kWarning,
+      {rules::kMtjOrientation, "paper", Severity::kWarning,
        "MTJ pinned layer faces the FET store branch (store polarity inverted "
        "vs the paper's Fig. 2 topology)"},
-      {rules::kStructuralSingular, Severity::kError,
+      {rules::kStructuralSingular, "structural", Severity::kError,
        "MNA matrix is structurally singular: some equation/unknown can never "
        "be pivoted, for every assignment of device values"},
-      {rules::kDanglingBranchEquation, Severity::kError,
+      {rules::kDanglingBranchEquation, "structural", Severity::kError,
        "branch-current equation with an empty row or column (e.g. a voltage "
        "source strapped between grounds)"},
-      {rules::kDisconnectedBlock, Severity::kWarning,
+      {rules::kDisconnectedBlock, "structural", Severity::kWarning,
        "connected equation block with no ground reference (KCL rows sum to "
        "zero: numerically singular without gmin)"},
+      {rules::kProtocolStoreIncomplete, "protocol", Severity::kError,
+       "store step shorter than the MTJ write-pulse width at the configured "
+       "overdrive (CIMS switch cannot complete)"},
+      {rules::kProtocolStoreMissing, "protocol", Severity::kError,
+       "power gated off with no completed MTJ store since the previous "
+       "power-up (cell contents lost)"},
+      {rules::kProtocolStoreGateOverlap, "protocol", Severity::kError,
+       "store pulse overlaps the gate-off edge (write current cut mid-store)"},
+      {rules::kProtocolRestoreOrder, "protocol", Severity::kError,
+       "restore pulse absent at rail recovery, or a word line asserts before "
+       "the restore completes"},
+      {rules::kProtocolShutdownShort, "protocol", Severity::kWarning,
+       "power-off window too short to complete the collapse/recovery ramps"},
+      {rules::kProtocolClockStore, "protocol", Severity::kError,
+       "NOF clock period shorter than the per-cycle store pulse"},
+      {rules::kProtocolSleepRetention, "protocol", Severity::kError,
+       "sleep rail level below the bistable retention floor (data lost "
+       "without a store)"},
+      {rules::kProtocolPwlNonmonotonic, "protocol", Severity::kError,
+       "PWL time points not strictly increasing (later points shadow earlier "
+       "ones)"},
+      {rules::kProtocolWlPrechargeOverlap, "protocol", Severity::kWarning,
+       "word line asserted while the bitline precharge is still active"},
+      {rules::kUnitsCurrentDensity, "units", Severity::kError,
+       "MTJ critical current density outside the A/m^2 range (likely entered "
+       "in A/cm^2)"},
+      {rules::kUnitsTimeScale, "units", Severity::kWarning,
+       "schedule time constant outside the ps..ms range plausible for this "
+       "technology (likely entered in the wrong SI prefix)"},
+      {rules::kUnitsVoltageRange, "units", Severity::kError,
+       "bias voltage outside the physical range of the 14 nm FinFET process"},
+      {rules::kUnitsDimension, "units", Severity::kError,
+       "derived quantity (Ic, store energy) dimensionally inconsistent or "
+       "implausible: unit algebra over the parameters does not close"},
   };
   return kCatalog;
 }
@@ -47,6 +81,13 @@ Severity default_severity(const std::string& rule_id) {
     if (rule_id == r.id) return r.severity;
   }
   return Severity::kError;
+}
+
+const char* rule_family(const std::string& rule_id) {
+  for (const auto& r : rule_catalog()) {
+    if (rule_id == r.id) return r.family;
+  }
+  return "";
 }
 
 }  // namespace nvsram::lint

@@ -35,10 +35,28 @@ inline constexpr const char* kMtjOrientation = "mtj-orientation";
 inline constexpr const char* kStructuralSingular = "structural-singular";
 inline constexpr const char* kDisconnectedBlock = "disconnected-block";
 inline constexpr const char* kDanglingBranchEquation = "dangling-branch-equation";
+// Temporal protocol analysis (lint/temporal/): static checks on the stimulus
+// schedule against the power-gating protocol of each architecture.
+inline constexpr const char* kProtocolStoreIncomplete = "protocol-store-incomplete";
+inline constexpr const char* kProtocolStoreMissing = "protocol-store-missing";
+inline constexpr const char* kProtocolStoreGateOverlap = "protocol-store-gate-overlap";
+inline constexpr const char* kProtocolRestoreOrder = "protocol-restore-order";
+inline constexpr const char* kProtocolShutdownShort = "protocol-shutdown-short";
+inline constexpr const char* kProtocolClockStore = "protocol-clock-store";
+inline constexpr const char* kProtocolSleepRetention = "protocol-sleep-retention";
+inline constexpr const char* kProtocolPwlNonmonotonic = "protocol-pwl-nonmonotonic";
+inline constexpr const char* kProtocolWlPrechargeOverlap =
+    "protocol-wl-precharge-overlap";
+// Dimensional / range analysis over parameters and parsed netlist values.
+inline constexpr const char* kUnitsCurrentDensity = "units-current-density";
+inline constexpr const char* kUnitsTimeScale = "units-time-scale";
+inline constexpr const char* kUnitsVoltageRange = "units-voltage-range";
+inline constexpr const char* kUnitsDimension = "units-dimension";
 }  // namespace rules
 
 struct RuleInfo {
   const char* id;
+  const char* family;  // "topology", "params", ..., "protocol", "units"
   Severity severity;
   const char* summary;
 };
@@ -48,6 +66,9 @@ const std::vector<RuleInfo>& rule_catalog();
 
 // Default severity for a rule id; kError for unknown ids (conservative).
 Severity default_severity(const std::string& rule_id);
+
+// Family name for a rule id; "" for unknown ids.
+const char* rule_family(const std::string& rule_id);
 
 struct LintOptions {
   // Rule ids to skip entirely.

@@ -1,0 +1,97 @@
+#include "lint/temporal/role.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nvsram::lint::temporal {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Matches a name against the role vocabulary.  Returns kOther when nothing
+// fits; callers try the node name first, then the source name with its
+// leading source letter stripped.
+SignalRole match_name(const std::string& name) {
+  if (name.empty()) return SignalRole::kOther;
+  // Power rail before power gate: "vddq"/"vvdd" must not hit the "pg" rule.
+  if (starts_with(name, "vvdd") || starts_with(name, "vdd") ||
+      starts_with(name, "vcc") || starts_with(name, "vsup") ||
+      name == "supply") {
+    return SignalRole::kPower;
+  }
+  if (starts_with(name, "pg") || starts_with(name, "psw") ||
+      starts_with(name, "pgate") || starts_with(name, "sleepb") ||
+      name == "slp") {
+    return SignalRole::kPowerGate;
+  }
+  if (starts_with(name, "wl") || name.find("word") != std::string::npos) {
+    return SignalRole::kWordline;
+  }
+  if (starts_with(name, "pch") || starts_with(name, "prech")) {
+    return SignalRole::kPrecharge;
+  }
+  if (starts_with(name, "wd")) return SignalRole::kWriteDriver;
+  if (starts_with(name, "bl")) return SignalRole::kBitline;
+  if (starts_with(name, "sr")) return SignalRole::kStoreEnable;
+  if (starts_with(name, "ctrl") || starts_with(name, "ctl")) {
+    return SignalRole::kRestoreCtrl;
+  }
+  return SignalRole::kOther;
+}
+
+}  // namespace
+
+const char* to_string(SignalRole role) {
+  switch (role) {
+    case SignalRole::kPower: return "power";
+    case SignalRole::kPowerGate: return "power-gate";
+    case SignalRole::kWordline: return "wordline";
+    case SignalRole::kBitline: return "bitline";
+    case SignalRole::kPrecharge: return "precharge";
+    case SignalRole::kWriteDriver: return "write-driver";
+    case SignalRole::kStoreEnable: return "store-enable";
+    case SignalRole::kRestoreCtrl: return "restore-ctrl";
+    case SignalRole::kOther: return "other";
+  }
+  return "other";
+}
+
+std::optional<SignalRole> role_from_string(const std::string& id) {
+  static constexpr SignalRole kAll[] = {
+      SignalRole::kPower,      SignalRole::kPowerGate,
+      SignalRole::kWordline,   SignalRole::kBitline,
+      SignalRole::kPrecharge,  SignalRole::kWriteDriver,
+      SignalRole::kStoreEnable, SignalRole::kRestoreCtrl,
+      SignalRole::kOther,
+  };
+  const std::string want = lower(id);
+  for (SignalRole r : kAll) {
+    if (want == to_string(r)) return r;
+  }
+  return std::nullopt;
+}
+
+SignalRole classify_role(const std::string& source_name,
+                         const std::string& node_name) {
+  const SignalRole by_node = match_name(lower(node_name));
+  if (by_node != SignalRole::kOther) return by_node;
+  std::string dev = lower(source_name);
+  // Strip the SPICE card letter ("Vpg" -> "pg") unless the whole name is the
+  // vocabulary word itself ("vdd" stays "vdd").
+  if (dev.size() > 1 && (dev[0] == 'v' || dev[0] == 'i') &&
+      match_name(dev) == SignalRole::kOther) {
+    dev.erase(dev.begin());
+  }
+  return match_name(dev);
+}
+
+}  // namespace nvsram::lint::temporal

@@ -1,0 +1,45 @@
+// Signal roles for the temporal protocol analyzer.
+//
+// Every independent source (netlist) or scripted driver track (testbench)
+// is classified into the role it plays in the paper's power-gating
+// protocol.  Roles come from three places, in priority order:
+//   1. explicit `.role <source> <role>` netlist annotations,
+//   2. testbench metadata (CellTestbench knows its tracks exactly),
+//   3. name heuristics over the source and its driven node ("pg", "wl", ...).
+//
+// This header is deliberately free of spice/ includes so that both the
+// parser (annotation cards) and the sram testbench (schedule export) can
+// name roles without a dependency cycle.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace nvsram::lint::temporal {
+
+enum class SignalRole {
+  kPower,        // VDD rail (or the rail that sags during OSR sleep)
+  kPowerGate,    // header-switch gate; high = domain gated off (super cutoff)
+  kWordline,     // WL access pulse
+  kBitline,      // BL / BLB (driven or precharged)
+  kPrecharge,    // precharge pFET gate; LOW = precharge active
+  kWriteDriver,  // write-driver nFET gate
+  kStoreEnable,  // SR line activating the PS-FinFET store branches
+  kRestoreCtrl,  // CTRL line (store step 2 level / restore bias)
+  kOther,        // anything the protocol checks ignore
+};
+
+// Stable lowercase identifier ("power-gate", "wordline", ...), used by the
+// `.role` netlist card and in diagnostics.
+const char* to_string(SignalRole role);
+
+// Inverse of to_string(); nullopt for unknown identifiers.
+std::optional<SignalRole> role_from_string(const std::string& id);
+
+// Name heuristic: classifies from the driving source's name and the node it
+// drives (e.g. "Vpg" / "pg" -> kPowerGate).  Both strings are matched
+// case-insensitively; either may be empty.
+SignalRole classify_role(const std::string& source_name,
+                         const std::string& node_name);
+
+}  // namespace nvsram::lint::temporal

@@ -4,6 +4,7 @@
 // mirroring how the paper couples Table I to the evaluation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "models/finfet.h"
@@ -25,6 +26,9 @@ struct PaperParams {
   double vctrl_normal = 0.07;    // CTRL bias minimizing leakage, normal mode
   double vctrl_sleep = 0.04;     // CTRL bias during sleep
   double vvdd_sleep = 0.7;       // virtual-VDD in the sleep retention mode
+  // Lowest (virtual) rail at which the cross-coupled core still holds its
+  // state; sleep levels below this lose data without a preceding store.
+  double vvdd_retention_floor = 0.45;
   double vpg_supercutoff = 1.0;  // power-switch gate overdrive in shutdown
 
   // Fin numbers (N_FL, N_FD, N_FP, N_FPS) = (1,1,1,1); power switch N_FSW.
@@ -56,6 +60,10 @@ struct PaperParams {
 
   // Renders the Table I block as printable text.
   std::string describe() const;
+
+  // Stable 64-bit hash over every field (including the MTJ bundle); keys the
+  // process-wide characterization cache.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace nvsram::models

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "lint/linter.h"
+#include "lint/temporal/role.h"
 #include "models/finfet.h"
 #include "models/mtj.h"
 #include "spice/ac.h"
@@ -315,6 +316,7 @@ class ParserImpl {
       for (std::size_t k = 0; k < args.size(); k += 2) {
         pts.emplace_back(args[k], args[k + 1]);
       }
+      sanitize_pwl(pts, devname(t[0]));
       try {
         return SourceSpec::pwl(pts);
       } catch (const std::invalid_argument& e) {
@@ -323,6 +325,48 @@ class ParserImpl {
     }
     // Bare value means DC.
     return SourceSpec::dc(number(t[i]));
+  }
+
+  // A later PWL point at an earlier-or-equal time shadows what the source
+  // "really does" — the simulator would quietly interpolate something other
+  // than the author's schedule.  Reported as a lint diagnostic (with the
+  // card's line), then repaired (sort, keep the last point of any duplicate
+  // time) so parsing and the remaining analyses continue.
+  void sanitize_pwl(std::vector<std::pair<double, double>>& pts,
+                    const std::string& device) {
+    bool monotonic = true;
+    for (std::size_t k = 1; k < pts.size(); ++k) {
+      if (pts[k].first <= pts[k - 1].first) {
+        monotonic = false;
+        break;
+      }
+    }
+    if (monotonic) return;
+
+    lint::Diagnostic d;
+    d.rule = lint::rules::kProtocolPwlNonmonotonic;
+    d.severity = lint::default_severity(d.rule);
+    d.message = "PWL time points of '" + device +
+                "' are not strictly increasing; sorted and deduplicated "
+                "(later duplicates win) — fix the stimulus, the schedule is "
+                "not what was written";
+    d.device = device;
+    d.line = line_no_;
+    out_.add_parse_diagnostic(std::move(d));
+
+    std::stable_sort(pts.begin(), pts.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<std::pair<double, double>> fixed;
+    for (const auto& p : pts) {
+      if (!fixed.empty() && fixed.back().first == p.first) {
+        fixed.back().second = p.second;  // last duplicate wins
+      } else {
+        fixed.push_back(p);
+      }
+    }
+    pts = std::move(fixed);
   }
 
   template <typename SourceT>
@@ -397,6 +441,7 @@ class ParserImpl {
       if (kv->first == "tau0") params.tau0 = number(kv->second);
       else if (kv->first == "diameter") params.diameter = number(kv->second);
       else if (kv->first == "tmr") params.tmr0 = number(kv->second);
+      else if (kv->first == "jc") params.jc = number(kv->second);
       else fail("unknown mtj option '" + kv->first + "'");
     }
     out_.circuit().add<MTJElement>(devname(t[0]), node(t[1]), node(t[2]),
@@ -491,6 +536,15 @@ class ParserImpl {
         fail(".ac needs 0 < f_start < f_stop");
       }
       out_.set_ac_card(std::move(card));
+    } else if (head == ".role") {
+      need(t, 3, ".role");
+      const std::string role = lower(t[2]);
+      if (!lint::temporal::role_from_string(role)) {
+        fail("unknown .role '" + t[2] +
+             "' (expected power, power-gate, wordline, bitline, precharge, "
+             "write-driver, store-enable, restore-ctrl, or other)");
+      }
+      out_.set_role_annotation(devname(t[1]), role);
     } else if (head == ".probe") {
       for (std::size_t k = 1; k < t.size();) {
         const std::string what = lower(t[k]);
@@ -574,6 +628,17 @@ int ParsedNetlist::device_line(const std::string& name) const {
 int ParsedNetlist::node_line(const std::string& name) const {
   const auto it = node_lines_.find(name);
   return it == node_lines_.end() ? -1 : it->second;
+}
+
+void ParsedNetlist::set_role_annotation(const std::string& device,
+                                        std::string role) {
+  role_annotations_[lower(device)] = std::move(role);
+}
+
+const std::string* ParsedNetlist::role_annotation(
+    const std::string& device) const {
+  const auto it = role_annotations_.find(lower(device));
+  return it == role_annotations_.end() ? nullptr : &it->second;
 }
 
 void ParsedNetlist::add_parse_diagnostic(lint::Diagnostic d) {

@@ -113,6 +113,14 @@ class ParsedNetlist {
   int device_line(const std::string& name) const;
   int node_line(const std::string& name) const;
 
+  // ---- signal role annotations (.role cards) ----
+  // `.role <source> <role>` pins a signal's protocol role ("power",
+  // "power-gate", "wordline", "store-enable", ...) for the temporal lint
+  // pass, overriding the name heuristics.  Names compare case-insensitively.
+  void set_role_annotation(const std::string& device, std::string role);
+  // Annotated role id for `device`; nullptr when none.
+  const std::string* role_annotation(const std::string& device) const;
+
   // Diagnostics the parser itself produced (e.g. unused .subckt ports);
   // merged into every lint() report.
   void add_parse_diagnostic(lint::Diagnostic d);
@@ -140,6 +148,7 @@ class ParsedNetlist {
   std::optional<AcCard> ac_;
   std::unordered_map<std::string, int> device_lines_;
   std::unordered_map<std::string, int> node_lines_;
+  std::unordered_map<std::string, std::string> role_annotations_;
   std::vector<lint::Diagnostic> parse_diags_;
   lint::LintOptions lint_options_;
   bool lint_on_run_ = true;

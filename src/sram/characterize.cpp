@@ -4,10 +4,39 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/report.h"
+#include "lint/temporal/protocol.h"
+#include "lint/temporal/units_check.h"
 #include "util/units.h"
 #include "util/watchdog.h"
 
 namespace nvsram::sram {
+
+namespace {
+
+// Static protocol gate: every scheduled script is linted before its transient
+// runs.  A schedule that violates the power-gating protocol (store too short,
+// access before restore, sub-retention sleep) would still solve and produce
+// energies that *look* valid — fail loudly instead, with zero solver time
+// spent.  Parameter dimension/range checks ride along so a unit-mismatched
+// PaperParams (e.g. J_C entered in A/cm^2) is rejected here too.
+void gate_schedule(const CellTestbench& tb, const models::PaperParams& pp) {
+  const auto opt = lint::temporal::TemporalOptions::from_paper(pp);
+  const auto tl = tb.export_timeline();
+  lint::LintReport report;
+  for (auto& d : lint::temporal::check_timeline(tl, opt)) {
+    report.add(std::move(d));
+  }
+  for (auto& d : lint::temporal::check_timeline_units(tl)) {
+    report.add(std::move(d));
+  }
+  for (auto& d : lint::temporal::check_paper_params(pp)) {
+    report.add(std::move(d));
+  }
+  if (report.has_errors()) throw lint::LintError(std::move(report));
+}
+
+}  // namespace
 
 std::string CellEnergetics::describe() const {
   std::ostringstream os;
@@ -71,6 +100,7 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     tb.op_restore();
     tb.op_idle(2e-9);
   }
+  gate_schedule(tb, pp_);
   auto res = tb.run();
   out.gmin_recoveries += res.stats.gmin_recoveries;
   out.source_recoveries += res.stats.source_recoveries;
@@ -114,6 +144,7 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     tbs.op_idle(2e-9);
     tbs.op_sleep(60e-9);
     tbs.op_idle(2e-9);
+    gate_schedule(tbs, pp_);
     auto rs = tbs.run();
     out.gmin_recoveries += rs.stats.gmin_recoveries;
     out.source_recoveries += rs.stats.source_recoveries;

@@ -1,0 +1,101 @@
+#include "sram/characterize_cache.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "lint/temporal/protocol.h"
+
+namespace nvsram::sram {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v, continuing the running hash.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t cache_key(const models::PaperParams& pp, CellKind kind,
+                        int relax_attempt) {
+  std::uint64_t h = pp.fingerprint();
+  h = mix(h, static_cast<std::uint64_t>(kind));
+  h = mix(h, static_cast<std::uint64_t>(relax_attempt));
+  h = mix(h, lint::temporal::TemporalOptions::from_paper(pp).fingerprint());
+  return h;
+}
+
+struct Entry {
+  std::mutex compute;
+  bool ready = false;
+  CellEnergetics value;
+};
+
+struct Cache {
+  std::mutex m;
+  // unique_ptr keeps each Entry's address stable across rehashes, so the
+  // per-entry mutex can be held without the map lock.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> map;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+CellEnergetics characterize_cached(const models::PaperParams& pp,
+                                   CellKind kind, double max_wall_seconds,
+                                   int relax_attempt) {
+  const std::uint64_t key = cache_key(pp, kind, relax_attempt);
+  Cache& c = cache();
+
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(c.m);
+    auto& slot = c.map[key];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+
+  std::lock_guard<std::mutex> lock(entry->compute);
+  if (entry->ready) {
+    std::lock_guard<std::mutex> stats(c.m);
+    ++c.hits;
+    return entry->value;
+  }
+  // Compute under the entry lock: a second thread asking for the same point
+  // blocks here and finds the result ready.  If this throws (lint gate,
+  // watchdog, solver), `ready` stays false and the next caller recomputes.
+  entry->value = CellCharacterizer(pp, max_wall_seconds, relax_attempt)
+                     .characterize(kind);
+  entry->ready = true;
+  {
+    std::lock_guard<std::mutex> stats(c.m);
+    ++c.misses;
+  }
+  return entry->value;
+}
+
+CharacterizeCacheStats characterize_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.m);
+  return {c.hits, c.misses, c.map.size()};
+}
+
+void characterize_cache_clear() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.m);
+  c.map.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace nvsram::sram

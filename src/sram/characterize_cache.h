@@ -1,0 +1,49 @@
+// Process-wide memoized cell characterization.
+//
+// Sweeps and benches characterize the same (PaperParams, CellKind) point
+// over and over — Fig. 7/8/9 all start from the identical nominal cells, and
+// each characterization costs seconds of transient solving.  This cache
+// memoizes CellCharacterizer::characterize() keyed on the *content* of the
+// inputs:
+//
+//   PaperParams::fingerprint()  — every physical parameter,
+//   CellKind and relax_attempt  — they change the script / tolerances,
+//   TemporalOptions::from_paper(pp).fingerprint()
+//                               — the temporal-lint config that gated the
+//                                 schedule.  Cached energies are only valid
+//                                 for the lint thresholds that admitted
+//                                 them; a config change invalidates the key.
+//
+// The wall-clock budget is deliberately NOT part of the key: it bounds how
+// long a characterization may take, not what it computes.  A run that blows
+// its budget throws before the entry is marked ready, so a later call with a
+// larger budget recomputes.
+//
+// Thread safety: one mutex guards the map, one mutex per entry serializes
+// the compute, so concurrent sweep workers characterizing *different* points
+// proceed in parallel while workers asking for the *same* point wait for the
+// first result instead of duplicating the solve.
+#pragma once
+
+#include <cstddef>
+
+#include "sram/characterize.h"
+
+namespace nvsram::sram {
+
+CellEnergetics characterize_cached(const models::PaperParams& pp,
+                                   CellKind kind,
+                                   double max_wall_seconds = 0.0,
+                                   int relax_attempt = 0);
+
+struct CharacterizeCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+CharacterizeCacheStats characterize_cache_stats();
+
+// Drops every entry and resets the counters (tests).
+void characterize_cache_clear();
+
+}  // namespace nvsram::sram

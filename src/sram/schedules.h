@@ -1,0 +1,39 @@
+// Per-architecture benchmark schedules (the stimulus side of Fig. 5).
+//
+// Builds a CellTestbench with one full benchmark cycle of the requested
+// power-gating architecture scheduled: n_RW read/write repetitions followed
+// by the architecture's long-idle strategy (NVPG store + shutdown + restore,
+// NOF power-off around every access, OSR low-voltage sleep).  The result is
+// *scheduled, not run* — callers either execute it (benches) or export its
+// timeline for static protocol analysis (`nvlint --bench`, golden tests).
+//
+// Lives in sram (not core) so the lint CLI can build decks without linking
+// the architecture-level energy model; the enum is therefore local.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sram/testbench.h"
+
+namespace nvsram::sram {
+
+enum class BenchArch { kNVPG, kNOF, kOSR };
+
+const char* to_string(BenchArch arch);
+std::optional<BenchArch> bench_arch_from_string(const std::string& id);
+
+struct ScheduleParams {
+  int n_rw = 2;          // read/write repetitions before the long idle
+  double t_sl = 100e-9;  // short sleep (OSR/NVPG) / short shutdown (NOF)
+  double t_sd = 1e-6;    // long shutdown (NVPG/NOF) / long sleep (OSR)
+};
+
+// Returns the testbench by pointer: CellTestbench self-references its tracks
+// and circuit, so it must not move after construction.
+std::unique_ptr<CellTestbench> build_benchmark_schedule(
+    BenchArch arch, const models::PaperParams& pp, const ScheduleParams& sp,
+    TestbenchOptions opts = {});
+
+}  // namespace nvsram::sram

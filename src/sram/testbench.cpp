@@ -271,6 +271,49 @@ void CellTestbench::op_restore() {
 
 // ---- execution -----------------------------------------------------------------
 
+lint::temporal::Timeline CellTestbench::export_timeline() const {
+  using lint::temporal::SignalRole;
+  lint::temporal::Timeline tl;
+  tl.origin = kind_ == CellKind::k6T ? "testbench:6t" : "testbench:nvsram";
+  tl.t_stop = t_ + 1e-9;  // same horizon run() uses
+  tl.has_mtj = kind_ == CellKind::kNvSram;
+  tl.has_fet = true;
+
+  const std::pair<const Track*, SignalRole> roles[] = {
+      {&vdd_, SignalRole::kPower},
+      {&pg_, SignalRole::kPowerGate},
+      {&wl_, SignalRole::kWordline},
+      {&pch_, SignalRole::kPrecharge},
+      {&wd0_, SignalRole::kWriteDriver},
+      {&wd1_, SignalRole::kWriteDriver},
+      {&bl_, SignalRole::kBitline},
+      {&blb_, SignalRole::kBitline},
+      {&sr_, SignalRole::kStoreEnable},
+      {&ctrl_, SignalRole::kRestoreCtrl},
+  };
+  for (const auto& [track, role] : roles) {
+    if (track->source == nullptr) continue;
+    lint::temporal::SignalTimeline sig;
+    sig.name = track->source->name();
+    sig.role = role;
+    // The points list holds the PWL corners run() would freeze in; between
+    // corner pairs the level is constant, so every value change is one
+    // Transition.
+    sig.initial =
+        track->points.empty() ? track->value : track->points.front().second;
+    for (std::size_t i = 1; i < track->points.size(); ++i) {
+      const auto& [ta, va] = track->points[i - 1];
+      const auto& [tb, vb] = track->points[i];
+      if (va != vb) sig.transitions.push_back({ta, tb, va, vb});
+    }
+    tl.signals.push_back(std::move(sig));
+  }
+  for (const PhaseWindow& ph : phases_) {
+    tl.phases.push_back({ph.name, ph.t0, ph.t1});
+  }
+  return tl;
+}
+
 CellTestbench::RunResult CellTestbench::run() {
   if (phases_.empty()) {
     throw std::logic_error("CellTestbench::run: nothing scheduled");

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/temporal/timeline.h"
 #include "models/paper_params.h"
 #include "spice/dc.h"
 #include "spice/tran.h"
@@ -88,6 +89,12 @@ class CellTestbench {
   const std::vector<PhaseWindow>& scheduled_phases() const { return phases_; }
   // n-th occurrence of a phase with this name (throws if absent).
   const PhaseWindow& phase(const std::string& name, int occurrence = 0) const;
+
+  // Static timeline of the scheduled tracks — the exact PWL corners run()
+  // would freeze into the drivers, with per-track protocol roles and the
+  // phase windows attached.  Feeds the temporal lint pass (protocol-* rules)
+  // and the golden-timeline tests; no transient solve is involved.
+  lint::temporal::Timeline export_timeline() const;
 
   // ---- execution ----
   struct RunResult {

@@ -3,8 +3,52 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
+#include <stdexcept>
 
 namespace nvsram::util {
+
+namespace {
+
+void append_exp(std::ostringstream& os, const char* base, int exp) {
+  if (exp == 0) return;
+  if (os.tellp() > 0) os << ' ';
+  os << base;
+  if (exp != 1) os << '^' << exp;
+}
+
+}  // namespace
+
+std::string to_string(const Dim& d) {
+  std::ostringstream os;
+  append_exp(os, "m", d.m);
+  append_exp(os, "kg", d.kg);
+  append_exp(os, "s", d.s);
+  append_exp(os, "A", d.A);
+  append_exp(os, "K", d.K);
+  std::string out = os.str();
+  return out.empty() ? "1" : out;
+}
+
+Quantity operator+(const Quantity& a, const Quantity& b) {
+  if (a.dim != b.dim) {
+    throw std::invalid_argument("Quantity: adding [" + to_string(a.dim) +
+                                "] to [" + to_string(b.dim) + "]");
+  }
+  return {a.value + b.value, a.dim};
+}
+
+Quantity operator-(const Quantity& a, const Quantity& b) {
+  if (a.dim != b.dim) {
+    throw std::invalid_argument("Quantity: subtracting [" + to_string(b.dim) +
+                                "] from [" + to_string(a.dim) + "]");
+  }
+  return {a.value - b.value, a.dim};
+}
+
+std::string to_string(const Quantity& q, const std::string& unit_hint) {
+  return si_format(q.value, unit_hint) + " [" + to_string(q.dim) + "]";
+}
 
 double thermal_voltage(double temperature_kelvin) {
   return kBoltzmann * temperature_kelvin / kElectronCharge;

@@ -64,6 +64,72 @@ inline constexpr double kRoomTemperature = 300.0;    // K
 // Thermal voltage kT/q at temperature T (kelvin).
 double thermal_voltage(double temperature_kelvin = kRoomTemperature);
 
+// ---- dimensional algebra ---------------------------------------------------
+// Symbolic SI dimension as integer exponents over the base units this code
+// base uses.  Multiplication/division compose exponents, so derived formulas
+// (Ic = Jc * A, E = I * V * t, ...) can be checked to close dimensionally at
+// run time by the `units-*` lint rules.
+struct Dim {
+  int m = 0;   // meter
+  int kg = 0;  // kilogram
+  int s = 0;   // second
+  int A = 0;   // ampere
+  int K = 0;   // kelvin
+
+  friend constexpr bool operator==(const Dim& a, const Dim& b) {
+    return a.m == b.m && a.kg == b.kg && a.s == b.s && a.A == b.A &&
+           a.K == b.K;
+  }
+  friend constexpr bool operator!=(const Dim& a, const Dim& b) {
+    return !(a == b);
+  }
+  friend constexpr Dim operator*(const Dim& a, const Dim& b) {
+    return {a.m + b.m, a.kg + b.kg, a.s + b.s, a.A + b.A, a.K + b.K};
+  }
+  friend constexpr Dim operator/(const Dim& a, const Dim& b) {
+    return {a.m - b.m, a.kg - b.kg, a.s - b.s, a.A - b.A, a.K - b.K};
+  }
+};
+
+// Renders as "m^2 kg s^-3 A^-1" ("1" for the scalar dimension).
+std::string to_string(const Dim& d);
+
+namespace dims {
+inline constexpr Dim kScalar{};
+inline constexpr Dim kMeter{1, 0, 0, 0, 0};
+inline constexpr Dim kArea{2, 0, 0, 0, 0};
+inline constexpr Dim kSecond{0, 0, 1, 0, 0};
+inline constexpr Dim kAmpere{0, 0, 0, 1, 0};
+inline constexpr Dim kKelvin{0, 0, 0, 0, 1};
+inline constexpr Dim kVolt{2, 1, -3, -1, 0};
+inline constexpr Dim kOhm{2, 1, -3, -2, 0};
+inline constexpr Dim kFarad{-2, -1, 4, 2, 0};
+inline constexpr Dim kJoule{2, 1, -2, 0, 0};
+inline constexpr Dim kWatt{2, 1, -3, 0, 0};
+inline constexpr Dim kCurrentDensity{-2, 0, 0, 1, 0};  // A/m^2
+}  // namespace dims
+
+// A value tagged with its dimension.  Arithmetic composes dimensions; adding
+// quantities of different dimensions throws std::invalid_argument (that IS
+// the dimension error the lint pass reports).
+struct Quantity {
+  double value = 0.0;
+  Dim dim{};
+
+  friend constexpr Quantity operator*(const Quantity& a, const Quantity& b) {
+    return {a.value * b.value, a.dim * b.dim};
+  }
+  friend constexpr Quantity operator/(const Quantity& a, const Quantity& b) {
+    return {a.value / b.value, a.dim / b.dim};
+  }
+  // Addition/subtraction require identical dimensions.
+  friend Quantity operator+(const Quantity& a, const Quantity& b);
+  friend Quantity operator-(const Quantity& a, const Quantity& b);
+};
+
+// "15.708 uA [A]" — si_format of the value plus the dimension.
+std::string to_string(const Quantity& q, const std::string& unit_hint = "");
+
 // ---- formatting ------------------------------------------------------------
 // Format `value` with an SI prefix and the given unit, e.g. 1.5e-9 s ->
 // "1.500 ns".  `digits` is the number of significant decimals.
