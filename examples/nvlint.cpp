@@ -16,13 +16,17 @@
 //   --bench=<arch>   instead of (or in addition to) netlists, build the
 //                    scheduled benchmark deck for an architecture (nvpg,
 //                    nof, osr, or all), export its stimulus timeline, and
-//                    run the temporal protocol + units passes over it.
-//                    Reported as pseudo-file "bench:<arch>"; no transient
-//                    is solved.
+//                    run the temporal protocol + units + power-intent
+//                    passes over it.  Reported as pseudo-file
+//                    "bench:<arch>"; no transient is solved.
 //   --format=json    machine-readable output: a JSON array with one object
 //                    per file {file, parse_failed, errors, warnings,
 //                    diagnostics:[{rule, severity, file, line, message,
 //                    device, node, phase}]} (CI gates parse this)
+//   --format=sarif   SARIF 2.1.0 on stdout (one run, full rule catalog,
+//                    one result per diagnostic; parse failures appear as
+//                    ruleId "parse-error").  Uploadable to GitHub code
+//                    scanning.
 //   -q, --quiet      print only the per-file summary lines
 //
 // Exit status: 0 clean, 1 lint errors (or warnings with --werror /
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "lint/linter.h"
+#include "lint/power/check.h"
 #include "lint/temporal/protocol.h"
 #include "lint/temporal/timeline.h"
 #include "lint/temporal/units_check.h"
@@ -93,6 +98,15 @@ struct FileResult {
   std::size_t werror_hits = 0;  // warnings promoted by --werror=<glob>
 };
 
+enum class Format { kText, kJson, kSarif };
+
+// SARIF needs every diagnostic of the invocation in one document, so the
+// sarif path collects (file, diagnostic) pairs instead of streaming.
+struct SarifResult {
+  std::string file;
+  nvsram::lint::Diagnostic diag;
+};
+
 // Minimal JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -132,7 +146,9 @@ void print_json_diagnostic(std::ostream& os, const std::string& path,
 FileResult report_diagnostics(const std::string& path,
                               const nvsram::lint::LintReport& report,
                               const std::vector<std::string>& werror_globs,
-                              bool quiet, bool json, bool first_file) {
+                              bool quiet, Format format,
+                              std::vector<SarifResult>& sarif,
+                              bool first_file) {
   using namespace nvsram;
   FileResult result;
   result.errors = report.count(lint::Severity::kError);
@@ -146,7 +162,11 @@ FileResult report_diagnostics(const std::string& path,
       }
     }
   }
-  if (json) {
+  if (format == Format::kSarif) {
+    for (const auto& d : report.diagnostics()) sarif.push_back({path, d});
+    return result;
+  }
+  if (format == Format::kJson) {
     if (!first_file) std::cout << ",";
     std::cout << "\n  {\"file\": \"" << json_escape(path)
               << "\", \"parse_failed\": false, \"errors\": " << result.errors
@@ -178,23 +198,32 @@ FileResult report_diagnostics(const std::string& path,
 FileResult lint_file(const std::string& path,
                      const nvsram::lint::LintOptions& options,
                      const std::vector<std::string>& werror_globs, bool quiet,
-                     bool json, bool first_file) {
+                     Format format, std::vector<SarifResult>& sarif,
+                     bool first_file) {
   using namespace nvsram;
   FileResult result;
 
-  auto json_parse_failure = [&]() {
-    if (!json) return;
-    if (!first_file) std::cout << ",";
-    std::cout << "\n  {\"file\": \"" << json_escape(path)
-              << "\", \"parse_failed\": true, \"errors\": 0, \"warnings\": 0, "
-                 "\"diagnostics\": []}";
+  auto report_parse_failure = [&](int line, const std::string& what) {
+    result.parse_failed = true;
+    if (format == Format::kJson) {
+      if (!first_file) std::cout << ",";
+      std::cout << "\n  {\"file\": \"" << json_escape(path)
+                << "\", \"parse_failed\": true, \"errors\": 0, \"warnings\": "
+                   "0, \"diagnostics\": []}";
+    } else if (format == Format::kSarif) {
+      lint::Diagnostic d;
+      d.rule = "parse-error";
+      d.severity = lint::Severity::kError;
+      d.message = what;
+      d.line = line;
+      sarif.push_back({path, std::move(d)});
+    }
   };
 
   std::ifstream in(path);
   if (!in) {
     std::cerr << path << ": cannot open file\n";
-    result.parse_failed = true;
-    json_parse_failure();
+    report_parse_failure(-1, "cannot open file");
     return result;
   }
   std::ostringstream ss;
@@ -207,23 +236,23 @@ FileResult lint_file(const std::string& path,
   } catch (const spice::NetlistError& e) {
     std::cerr << path << ":" << e.line() << ": parse-error: " << e.what()
               << "\n";
-    result.parse_failed = true;
-    json_parse_failure();
+    report_parse_failure(e.line(), e.what());
     return result;
   }
 
   const lint::LintReport report = net->lint(options);
-  return report_diagnostics(path, report, werror_globs, quiet, json,
+  return report_diagnostics(path, report, werror_globs, quiet, format, sarif,
                             first_file);
 }
 
 // Builds the scheduled benchmark deck for one architecture and runs the
-// temporal protocol + units passes over its exported timeline.  Purely
-// static: nothing is solved.
+// temporal protocol + units + power-intent passes over its exported
+// timeline.  Purely static: nothing is solved.
 FileResult lint_bench(nvsram::sram::BenchArch arch,
                       const nvsram::lint::LintOptions& options,
                       const std::vector<std::string>& werror_globs, bool quiet,
-                      bool json, bool first_file) {
+                      Format format, std::vector<SarifResult>& sarif,
+                      bool first_file) {
   using namespace nvsram;
   const std::string path = std::string("bench:") + sram::to_string(arch);
 
@@ -261,9 +290,75 @@ FileResult lint_bench(nvsram::sram::BenchArch arch,
   add(lint::temporal::check_timeline(tl, opt));
   add(lint::temporal::check_timeline_units(tl));
   add(lint::temporal::check_paper_params(pp));
+  // Power-intent pass over the bench circuit: the deck carries a real header
+  // switch, so the schedule's per-domain gating is checked exactly like a
+  // netlist's (word-line-in-off-window, sneak paths, isolation).
+  add(lint::power::check_power(tb->circuit(), tl, nullptr, {}));
 
-  return report_diagnostics(path, report, werror_globs, quiet, json,
+  return report_diagnostics(path, report, werror_globs, quiet, format, sarif,
                             first_file);
+}
+
+// SARIF 2.1.0 document: one run, the full rule catalog as
+// tool.driver.rules (plus the synthetic "parse-error" rule), one result per
+// diagnostic.  GitHub code scanning ingests this directly.
+void print_sarif(const std::vector<SarifResult>& results) {
+  using nvsram::lint::Severity;
+  const auto& catalog = nvsram::lint::rule_catalog();
+  auto level_of = [](Severity s) {
+    return s == Severity::kError     ? "error"
+           : s == Severity::kWarning ? "warning"
+                                     : "note";
+  };
+
+  std::cout << "{\n"
+            << "  \"$schema\": "
+               "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+            << "  \"version\": \"2.1.0\",\n"
+            << "  \"runs\": [\n    {\n"
+            << "      \"tool\": {\n        \"driver\": {\n"
+            << "          \"name\": \"nvlint\",\n"
+            << "          \"informationUri\": \"docs/LINT.md\",\n"
+            << "          \"rules\": [";
+  bool first = true;
+  auto print_rule = [&](const std::string& id, const std::string& family,
+                        Severity severity, const std::string& summary) {
+    if (!first) std::cout << ",";
+    first = false;
+    std::cout << "\n            {\"id\": \"" << json_escape(id)
+              << "\", \"shortDescription\": {\"text\": \""
+              << json_escape(summary)
+              << "\"}, \"defaultConfiguration\": {\"level\": \""
+              << level_of(severity) << "\"}, \"properties\": {\"family\": \""
+              << json_escape(family) << "\"}}";
+  };
+  for (const auto& rule : catalog) {
+    print_rule(rule.id, rule.family, rule.severity, rule.summary);
+  }
+  print_rule("parse-error", "parser", Severity::kError,
+             "netlist text could not be parsed");
+  std::cout << "\n          ]\n        }\n      },\n"
+            << "      \"results\": [";
+
+  first = true;
+  for (const auto& r : results) {
+    if (!first) std::cout << ",";
+    first = false;
+    std::cout << "\n        {\"ruleId\": \"" << json_escape(r.diag.rule)
+              << "\", \"level\": \"" << level_of(r.diag.severity)
+              << "\", \"message\": {\"text\": \"" << json_escape(r.diag.message)
+              << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \""
+              << json_escape(r.file) << "\"}";
+    if (r.diag.line >= 1) {
+      std::cout << ", \"region\": {\"startLine\": " << r.diag.line << "}";
+    }
+    std::cout << "}}], \"properties\": {\"device\": \""
+              << json_escape(r.diag.device) << "\", \"node\": \""
+              << json_escape(r.diag.node) << "\", \"phase\": \""
+              << json_escape(r.diag.phase) << "\"}}";
+  }
+  std::cout << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
 }
 
 }  // namespace
@@ -275,12 +370,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> werror_globs;
   bool quiet = false;
   bool werror = false;
-  bool json = false;
+  Format format = Format::kText;
+  std::vector<SarifResult> sarif;
 
   const char* usage =
       "usage: nvlint [--rules] [--list-rules] [--disable=<id>] [--werror] "
-      "[--werror=<glob>] [--bench=<nvpg|nof|osr|all>] [--format=json] [-q] "
-      "<netlist.cir>...\n";
+      "[--werror=<glob>] [--bench=<nvpg|nof|osr|all>] [--format=json|sarif] "
+      "[-q] <netlist.cir>...\n";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -325,10 +421,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--format=json") {
-      json = true;
+      format = Format::kJson;
+    } else if (arg == "--format=sarif") {
+      format = Format::kSarif;
     } else if (arg.rfind("--format=", 0) == 0) {
       std::cerr << "nvlint: unknown format '" << arg.substr(9)
-                << "' (supported: json)\n";
+                << "' (supported: json, sarif)\n";
       return 2;
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
@@ -351,11 +449,11 @@ int main(int argc, char** argv) {
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
   std::size_t total_werror_hits = 0;
-  if (json) std::cout << "[";
+  if (format == Format::kJson) std::cout << "[";
   bool first = true;
   for (const auto& path : files) {
     const FileResult r =
-        lint_file(path, options, werror_globs, quiet, json, first);
+        lint_file(path, options, werror_globs, quiet, format, sarif, first);
     first = false;
     any_parse_failed = any_parse_failed || r.parse_failed;
     total_errors += r.errors;
@@ -364,13 +462,14 @@ int main(int argc, char** argv) {
   }
   for (const auto arch : benches) {
     const FileResult r =
-        lint_bench(arch, options, werror_globs, quiet, json, first);
+        lint_bench(arch, options, werror_globs, quiet, format, sarif, first);
     first = false;
     total_errors += r.errors;
     total_warnings += r.warnings;
     total_werror_hits += r.werror_hits;
   }
-  if (json) std::cout << "\n]\n";
+  if (format == Format::kJson) std::cout << "\n]\n";
+  if (format == Format::kSarif) print_sarif(sarif);
 
   if (any_parse_failed) return 2;
   if (total_errors > 0) return 1;

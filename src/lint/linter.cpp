@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "lint/graph.h"
+#include "lint/power/check.h"
 #include "lint/temporal/protocol.h"
 #include "lint/temporal/timeline.h"
 #include "lint/temporal/units_check.h"
@@ -108,7 +109,9 @@ class Linter {
                   "node '" + circuit_.node_name(n) +
                       "' is not attached to any device pin",
                   n);
+        floating_nodes_.insert(circuit_.node_name(n));
       } else if (pins.size() == 1) {
+        floating_nodes_.insert(circuit_.node_name(n));
         emit_node(rules::kFloatNode,
                   "node '" + circuit_.node_name(n) +
                       "' is attached to a single device pin ('" +
@@ -128,6 +131,7 @@ class Linter {
     }
     for (const auto& [root, nodes] : islands) {
       (void)root;
+      for (NodeId n : nodes) floating_nodes_.insert(circuit_.node_name(n));
       std::ostringstream names;
       const std::size_t shown = std::min<std::size_t>(nodes.size(), 5);
       for (std::size_t i = 0; i < shown; ++i) {
@@ -268,6 +272,14 @@ class Linter {
     }
 
     for (const auto& block : rep.floating_blocks) {
+      // "V(name)" unknowns name the member nodes; power-domain-floating
+      // skips rails already covered by this block diagnostic.
+      for (const auto& unk : block.unknowns) {
+        if (unk.size() > 3 && unk.compare(0, 2, "V(") == 0 &&
+            unk.back() == ')') {
+          floating_nodes_.insert(unk.substr(2, unk.size() - 3));
+        }
+      }
       std::ostringstream msg;
       msg << "equation block {";
       const std::size_t shown =
@@ -396,6 +408,18 @@ class Linter {
     const temporal::Timeline timeline = temporal::extract_timeline(*netlist_);
     add_filtered(temporal::check_timeline(timeline, temporal::TemporalOptions{}));
     add_filtered(temporal::check_netlist_units(*netlist_));
+    check_power(timeline);
+  }
+
+  // ---- power-*: domain extraction + off-window abstract interpretation ----
+  // Shares the timeline already extracted for the protocol pass; the
+  // structural passes above fill floating_nodes_ first, so the
+  // power-domain-floating rule dedupes against float-node / no-dc-path /
+  // disconnected-block instead of double-reporting one defect.
+  void check_power(const temporal::Timeline& timeline) {
+    power::PowerCheckOptions options;
+    options.already_reported_floating = floating_nodes_;
+    add_filtered(power::check_power(circuit_, timeline, netlist_, options));
   }
 
   void add_filtered(std::vector<Diagnostic> diags) {
@@ -457,6 +481,9 @@ class Linter {
   const LintOptions& options_;
   CircuitGraph graph_;
   LintReport report_;
+  // Nodes already reported floating by the structural passes (float-node,
+  // no-dc-path, disconnected-block); consumed by the power pass for dedupe.
+  std::unordered_set<std::string> floating_nodes_;
 };
 
 }  // namespace

@@ -1,0 +1,55 @@
+// The power-* rule family: power-intent checks over domains + power state.
+//
+//   power-wl-in-off-window    word line asserts while the domain holding the
+//                             accessed storage nodes is gated off
+//   power-sneak-path          a DC path conducts through an off domain
+//                             between externally held nets (the leakage the
+//                             gating was supposed to cut)
+//   power-missing-isolation   an off-domain node drives the gate of a
+//                             powered receiver with no isolation in between
+//   power-domain-floating     a .domain-declared gated rail has no power
+//                             switch on its supply path
+//   power-shared-rail-conflict  one virtual rail fed by switches with
+//                             different gating schedules
+//
+// All checks are static: the domain map comes from topology, the power state
+// from abstract interpretation of the PS gate signals.  Diagnostics carry
+// netlist lines (when a netlist is given) and the covering testbench phase —
+// or the synthetic "power-off" phase for netlist-only timelines.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/power/state.h"
+#include "lint/temporal/timeline.h"
+
+namespace nvsram::spice {
+class Circuit;
+class ParsedNetlist;
+}  // namespace nvsram::spice
+
+namespace nvsram::lint::power {
+
+struct PowerCheckOptions {
+  StateOptions state;
+  // Fraction of VDD two held nets must differ by before a conduction path
+  // between them counts as a sneak path.
+  double sneak_delta_fraction = 0.1;
+  // Node names already reported by float-node / no-dc-path /
+  // disconnected-block; power-domain-floating dedupes against these the way
+  // the structural rules dedupe degree-0 nodes.
+  std::unordered_set<std::string> already_reported_floating;
+};
+
+// Runs every power-* check.  `netlist` (nullable) supplies .domain
+// annotations and line attribution; the timeline supplies the schedule
+// (netlist sources or exported testbench tracks).
+std::vector<Diagnostic> check_power(const spice::Circuit& circuit,
+                                    const temporal::Timeline& timeline,
+                                    const spice::ParsedNetlist* netlist,
+                                    const PowerCheckOptions& options = {});
+
+}  // namespace nvsram::lint::power

@@ -1,0 +1,95 @@
+// Power-domain extraction: UPF/CPF-style power intent recovered from the
+// circuit topology.
+//
+// The paper's architectures only make sense when the circuit is correctly
+// partitioned into power domains behind the PS power switch: the NVPG/NOF
+// store-before-gate-off discipline, the sneak-path-free shutdown, and the
+// Fig. 7-9 energy accounting all assume the gated region is exactly what the
+// designer thinks it is.  This pass recovers that partition statically:
+//
+//   * supply sources (role kPower) seed always-on domains,
+//   * FETs whose gate is driven by a kPowerGate signal are power switches;
+//     the channel side away from the supply seeds a gated domain (its
+//     virtual rail, e.g. "vvdd"),
+//   * domains grow by reachability over always-conducting devices (R, L,
+//     diode, MTJ) and FETs with *undriven* gates (structural rail
+//     connections: pull-ups/pull-downs, cross-coupled pairs).  FETs whose
+//     gate is a driven signal node (word lines, store enables) are steering
+//     switches, not rail wiring, so they bound the domain.
+//
+// `.domain <node> <name> [gated|always-on]` netlist cards override the
+// derived name and pin the designer's intent; the power-domain-floating rule
+// fires when a declared-gated rail has no power switch on its supply path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/device.h"
+
+namespace nvsram::spice {
+class Circuit;
+class FinFETElement;
+class ParsedNetlist;
+}  // namespace nvsram::spice
+
+namespace nvsram::lint::power {
+
+enum class DomainKind { kAlwaysOn, kGated };
+
+const char* to_string(DomainKind kind);
+
+// One PS device on a gated domain's supply path.
+struct PowerSwitch {
+  const spice::FinFETElement* fet = nullptr;
+  std::string gate_signal;        // driving source name ("" when undriven)
+  spice::NodeId gate_node = spice::kGround;
+  spice::NodeId on_side = spice::kGround;   // channel node toward the supply
+  spice::NodeId off_side = spice::kGround;  // virtual-rail (gated) side
+  bool pmos = true;  // header pFET: off when the gate is driven high
+};
+
+struct PowerDomain {
+  int id = -1;
+  std::string name;  // rail node name, overridden by a .domain card
+  DomainKind kind = DomainKind::kAlwaysOn;
+  spice::NodeId rail = spice::kGround;   // seed node
+  std::vector<spice::NodeId> nodes;      // sorted members, including rail
+  std::vector<PowerSwitch> switches;     // gated only: PS devices feeding rail
+  int parent = -1;  // id of the supplying domain (gated only, -1 unknown)
+  bool declared = false;  // a .domain card names this rail
+};
+
+// One `.domain <node> <name> [gated|always-on]` card.
+struct DomainAnnotation {
+  std::string node;
+  std::string name;
+  bool gated = true;
+  int line = -1;
+};
+
+struct DomainMap {
+  std::vector<PowerDomain> domains;
+  // NodeId -> domain id, -1 for unassigned nodes (driven signal nets,
+  // steering-isolated islands, ground).
+  std::vector<int> node_domain;
+  // NodeId -> name of the independent source driving it ("" when undriven).
+  std::vector<std::string> driven_by;
+
+  int domain_of(spice::NodeId n) const {
+    return n < node_domain.size() ? node_domain[n] : -1;
+  }
+  bool any_gated() const;
+  const PowerDomain* find(const std::string& name) const;
+
+  // Deterministic human-readable rendering (tests, `nvlint` debugging).
+  std::string describe(const spice::Circuit& circuit) const;
+};
+
+// Extracts the power domains of a circuit.  `netlist` (optional) supplies
+// `.role` overrides for source classification and `.domain` annotations for
+// naming; pass nullptr for programmatic circuits (testbenches).
+DomainMap extract_domains(const spice::Circuit& circuit,
+                          const spice::ParsedNetlist* netlist = nullptr);
+
+}  // namespace nvsram::lint::power

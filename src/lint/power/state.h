@@ -1,0 +1,66 @@
+// Per-domain power state over time, by abstract interpretation.
+//
+// Composes the extracted DomainMap with the stimulus Timeline: each gated
+// domain's PS gate signals are interpreted against an on/off threshold,
+// giving the maximal windows in which the domain's rail is collapsed (every
+// feeding switch cut) plus the ramp windows in between.  Nested domains
+// inherit their parent's off windows (a child rail cannot be up while its
+// supplier is down).  No transient is ever solved — this is the abstract
+// power state the power-* rules check events against.
+#pragma once
+
+#include <vector>
+
+#include "lint/power/domain.h"
+#include "lint/temporal/timeline.h"
+
+namespace nvsram::lint::power {
+
+struct StateOptions {
+  // Nominal rail; 0 = derive from the power-role signals in the timeline
+  // (their maximum level), falling back to 0.9 V.
+  double vdd = 0.0;
+  // A gate signal beyond on_fraction * vdd counts as asserted.
+  double on_fraction = 0.5;
+};
+
+struct DomainSchedule {
+  int domain = -1;
+  // Maximal windows with the rail collapsed, time-sorted and disjoint.
+  std::vector<temporal::Window> off;
+  // Gate-signal ramps crossing the threshold (rail collapse / recovery).
+  std::vector<temporal::Window> transitions;
+  // Off windows of each feeding switch alone, parallel to
+  // PowerDomain::switches (power-shared-rail-conflict compares these).
+  std::vector<std::vector<temporal::Window>> switch_off;
+
+  bool always_on() const { return off.empty(); }
+  bool off_at(double t) const;
+};
+
+struct PowerState {
+  std::vector<DomainSchedule> schedules;  // indexed by domain id
+  double vdd = 0.9;                       // resolved nominal rail
+  double threshold = 0.45;                // resolved on/off gate threshold
+
+  const DomainSchedule& of(int domain_id) const {
+    return schedules[static_cast<std::size_t>(domain_id)];
+  }
+};
+
+PowerState compute_power_state(const DomainMap& map,
+                               const temporal::Timeline& timeline,
+                               const StateOptions& options = {});
+
+// Interval algebra over sorted disjoint window lists (exposed for tests).
+std::vector<temporal::Window> windows_intersect(
+    const std::vector<temporal::Window>& a,
+    const std::vector<temporal::Window>& b);
+std::vector<temporal::Window> windows_union(
+    const std::vector<temporal::Window>& a,
+    const std::vector<temporal::Window>& b);
+std::vector<temporal::Window> windows_subtract(
+    const std::vector<temporal::Window>& a,
+    const std::vector<temporal::Window>& b);
+
+}  // namespace nvsram::lint::power

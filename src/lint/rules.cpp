@@ -61,6 +61,21 @@ const std::vector<RuleInfo>& rule_catalog() {
        "ones)"},
       {rules::kProtocolWlPrechargeOverlap, "protocol", Severity::kWarning,
        "word line asserted while the bitline precharge is still active"},
+      {rules::kPowerWlInOffWindow, "power", Severity::kError,
+       "word line asserts while the power domain holding the accessed cell "
+       "is gated off (access into a collapsed rail)"},
+      {rules::kPowerSneakPath, "power", Severity::kError,
+       "DC conduction path through a gated-off domain between held nets (the "
+       "leakage the power switch was supposed to cut)"},
+      {rules::kPowerMissingIsolation, "power", Severity::kWarning,
+       "node of a gated domain drives a gate in a still-powered domain with "
+       "no isolation clamp (floats to mid-rail during power-off)"},
+      {rules::kPowerDomainFloating, "power", Severity::kError,
+       ".domain-declared gated rail has no power switch on its supply path "
+       "(or no supply path at all)"},
+      {rules::kPowerSharedRailConflict, "power", Severity::kWarning,
+       "one virtual rail fed by power switches with different gating "
+       "schedules (rail stays up whenever either conducts)"},
       {rules::kUnitsCurrentDensity, "units", Severity::kError,
        "MTJ critical current density outside the A/m^2 range (likely entered "
        "in A/cm^2)"},

@@ -47,6 +47,14 @@ inline constexpr const char* kProtocolSleepRetention = "protocol-sleep-retention
 inline constexpr const char* kProtocolPwlNonmonotonic = "protocol-pwl-nonmonotonic";
 inline constexpr const char* kProtocolWlPrechargeOverlap =
     "protocol-wl-precharge-overlap";
+// Power-intent analysis (lint/power/): domain extraction plus off-window
+// abstract interpretation over the stimulus schedule.
+inline constexpr const char* kPowerWlInOffWindow = "power-wl-in-off-window";
+inline constexpr const char* kPowerSneakPath = "power-sneak-path";
+inline constexpr const char* kPowerMissingIsolation = "power-missing-isolation";
+inline constexpr const char* kPowerDomainFloating = "power-domain-floating";
+inline constexpr const char* kPowerSharedRailConflict =
+    "power-shared-rail-conflict";
 // Dimensional / range analysis over parameters and parsed netlist values.
 inline constexpr const char* kUnitsCurrentDensity = "units-current-density";
 inline constexpr const char* kUnitsTimeScale = "units-time-scale";

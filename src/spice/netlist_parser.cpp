@@ -545,6 +545,24 @@ class ParserImpl {
              "write-driver, store-enable, restore-ctrl, or other)");
       }
       out_.set_role_annotation(devname(t[1]), role);
+    } else if (head == ".domain") {
+      need(t, 3, ".domain");
+      lint::power::DomainAnnotation ann;
+      ann.node = resolve_node(t[1]);
+      ann.name = t[2];
+      ann.line = line_no_;
+      if (t.size() > 3) {
+        const std::string kind = lower(t[3]);
+        if (kind == "gated") {
+          ann.gated = true;
+        } else if (kind == "always-on") {
+          ann.gated = false;
+        } else {
+          fail("unknown .domain kind '" + t[3] +
+               "' (expected gated or always-on)");
+        }
+      }
+      out_.add_domain_annotation(std::move(ann));
     } else if (head == ".probe") {
       for (std::size_t k = 1; k < t.size();) {
         const std::string what = lower(t[k]);

@@ -18,6 +18,8 @@
 //   .tran <t_stop> [dt_max]
 //   .ac <vsource-name> <f_start> <f_stop> [points-per-decade]
 //   .probe v(<node>) | i(<device>) | p(<vsource>) | e(<vsource>)
+//   .role <source> <role>                     (protocol role annotation)
+//   .domain <node> <name> [gated|always-on]   (power-intent annotation)
 //   .end
 //
 // Numbers accept engineering suffixes: f p n u m k meg g t (e.g. "4f",
@@ -34,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lint/power/domain.h"
 #include "lint/report.h"
 #include "lint/rules.h"
 #include "spice/circuit.h"
@@ -121,6 +124,17 @@ class ParsedNetlist {
   // Annotated role id for `device`; nullptr when none.
   const std::string* role_annotation(const std::string& device) const;
 
+  // ---- power-domain annotations (.domain cards) ----
+  // `.domain <node> <name> [gated|always-on]` declares the designer's power
+  // intent for a rail node; the power-* lint family checks the extracted
+  // domain map against these declarations.
+  void add_domain_annotation(lint::power::DomainAnnotation ann) {
+    domain_annotations_.push_back(std::move(ann));
+  }
+  const std::vector<lint::power::DomainAnnotation>& domain_annotations() const {
+    return domain_annotations_;
+  }
+
   // Diagnostics the parser itself produced (e.g. unused .subckt ports);
   // merged into every lint() report.
   void add_parse_diagnostic(lint::Diagnostic d);
@@ -149,6 +163,7 @@ class ParsedNetlist {
   std::unordered_map<std::string, int> device_lines_;
   std::unordered_map<std::string, int> node_lines_;
   std::unordered_map<std::string, std::string> role_annotations_;
+  std::vector<lint::power::DomainAnnotation> domain_annotations_;
   std::vector<lint::Diagnostic> parse_diags_;
   lint::LintOptions lint_options_;
   bool lint_on_run_ = true;

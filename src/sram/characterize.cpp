@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/power/check.h"
 #include "lint/report.h"
 #include "lint/temporal/protocol.h"
 #include "lint/temporal/units_check.h"
@@ -31,6 +32,12 @@ void gate_schedule(const CellTestbench& tb, const models::PaperParams& pp) {
     report.add(std::move(d));
   }
   for (auto& d : lint::temporal::check_paper_params(pp)) {
+    report.add(std::move(d));
+  }
+  // Power-intent pass: extract the domain behind the header switch and hold
+  // the schedule against its off windows (word-line asserts into the
+  // collapsed rail, sneak paths around the PS device).
+  for (auto& d : lint::power::check_power(tb.circuit(), tl, nullptr, {})) {
     report.add(std::move(d));
   }
   if (report.has_errors()) throw lint::LintError(std::move(report));

@@ -74,6 +74,7 @@ class CellTestbench {
   CellKind kind() const { return kind_; }
   const models::PaperParams& paper() const { return pp_; }
   spice::Circuit& circuit() { return circuit_; }
+  const spice::Circuit& circuit() const { return circuit_; }
   const CellHandles& cell() const { return cell_; }
 
   // ---- schedule builders (advance the script clock) ----
