@@ -1,14 +1,22 @@
 // Sweep checkpoint file: the completed points of a sweep with their CSV row
 // values, rewritten atomically (tmp + rename) after every completed point.
 //
-// Format (text, line-based):
-//   nvsram-sweep-checkpoint v1
+// Format v2 (text, line-based):
+//   nvsram-sweep-checkpoint v2
 //   name=<runner name>
 //   columns=<c1,c2,...>
 //   point=<index> rows=<k>
-//   <v1> <v2> ...            (k lines, values in %.17g round-trip precision)
+//   <v1> <v2> ... *<crc32 hex>   (k lines, values in %.17g round-trip
+//                                 precision; CRC-32 of the value text)
 //   ...
 //   end
+//
+// The per-row CRC makes corruption detectable, not just truncation: on
+// load, a garbled or torn tail (bad CRC, short record, malformed header
+// line) rewinds the resume set to the last record that verified cleanly
+// and logs a warning — the damaged points are simply recomputed.  v1 files
+// (no CRC suffix) still load, so checkpoints written before the format
+// bump resume unchanged.
 //
 // A checkpoint whose name or column list does not match the running sweep
 // is stale and ignored.  Values round-trip exactly through %.17g, so a
@@ -27,14 +35,15 @@ using Rows = std::vector<std::vector<double>>;
 namespace checkpoint {
 
 // Loads the completed points of `path`.  Returns an empty map when the file
-// is absent, stale (name/columns mismatch), truncated mid-record, or holds
-// indices >= n_points.
+// is absent or stale (name/columns mismatch); returns the longest valid
+// prefix (with a logged warning) when the tail is truncated, garbled, or
+// fails its CRC; drops indices >= n_points.
 std::map<std::size_t, Rows> load(const std::string& path,
                                  const std::string& name,
                                  const std::vector<std::string>& columns,
                                  std::size_t n_points);
 
-// Atomically replaces `path` with the given completed set.
+// Atomically replaces `path` with the given completed set (format v2).
 // Throws std::runtime_error when the file cannot be written.
 void store(const std::string& path, const std::string& name,
            const std::vector<std::string>& columns,

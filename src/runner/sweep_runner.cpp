@@ -1,17 +1,23 @@
 #include "runner/sweep_runner.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <cstring>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
-#include "util/csv.h"
+#include "runner/committer.h"
+#include "runner/supervisor.h"
+#include "util/breadcrumb.h"
 #include "util/log.h"
 #include "util/watchdog.h"
 
@@ -19,28 +25,78 @@ namespace nvsram::runner {
 
 namespace {
 
-// Parses "K" or "name:K"; returns -1 when unset or scoped to another runner.
-int scoped_index(const char* env, const std::string& runner_name) {
-  if (!env || !*env) return -1;
-  std::string text(env);
-  const std::size_t colon = text.find(':');
-  if (colon != std::string::npos) {
-    if (text.substr(0, colon) != runner_name) return -1;
-    text = text.substr(colon + 1);
+// ---- strict NVSRAM_SWEEP_* parsing ----
+// Every drill variable either parses cleanly inside its sane range or the
+// run aborts with a RunnerError naming the variable: a typo in a CI drill
+// must never silently degrade into "no drill".
+
+long long parse_env_int(const char* var, const std::string& text,
+                        long long lo, long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    throw RunnerError(std::string(var) + ": expected an integer, got '" +
+                      text + "'");
   }
-  try {
-    return std::stoi(text);
-  } catch (const std::exception&) {
-    return -1;
+  if (v < lo || v > hi) {
+    throw RunnerError(std::string(var) + ": value " + text +
+                      " outside [" + std::to_string(lo) + ", " +
+                      std::to_string(hi) + "]");
   }
+  return v;
 }
 
-// Commas and newlines would break the one-line-per-failure manifest.
-std::string sanitize(std::string text) {
-  for (char& c : text) {
-    if (c == ',' || c == '\n' || c == '\r') c = ';';
+double parse_env_double(const char* var, const std::string& text, double lo,
+                        double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    throw RunnerError(std::string(var) + ": expected a number, got '" + text +
+                      "'");
   }
-  return text;
+  if (!(v >= lo && v <= hi)) {
+    throw RunnerError(std::string(var) + ": value " + text + " outside [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+// Splits an optional "name:" scope off a drill spec.  Returns false when
+// the spec is scoped to a different runner (i.e. should be ignored).
+bool unscope(const std::string& runner_name, std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return true;
+  if (text.substr(0, colon) != runner_name) return false;
+  text = text.substr(colon + 1);
+  return true;
+}
+
+// Parses a fault spec: "K" (throw) or "segv@K" / "oom@K" / "hang@K" /
+// "throw@K".
+void parse_fault_spec(const char* var, const std::string& spec,
+                      FaultKind& kind, int& point) {
+  std::string kind_text = "throw";
+  std::string index_text = spec;
+  const std::size_t at = spec.find('@');
+  if (at != std::string::npos) {
+    kind_text = spec.substr(0, at);
+    index_text = spec.substr(at + 1);
+  }
+  if (kind_text == "throw") {
+    kind = FaultKind::kThrow;
+  } else if (kind_text == "segv") {
+    kind = FaultKind::kSegv;
+  } else if (kind_text == "oom") {
+    kind = FaultKind::kOom;
+  } else if (kind_text == "hang") {
+    kind = FaultKind::kHang;
+  } else {
+    throw RunnerError(std::string(var) + ": unknown fault kind '" + kind_text +
+                      "' (expected throw, segv, oom, or hang)");
+  }
+  point = static_cast<int>(parse_env_int(var, index_text, 0, 1 << 28));
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -56,6 +112,64 @@ void spin_for_ms(double ms) {
   }
 }
 
+// SplitMix64: cheap, well-mixed hash for deterministic backoff jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Jitter in [0, 1), a pure function of the seed pair.
+double jitter01(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(mix64(a * 0x100000001B3ull ^ mix64(b)) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+double backoff_schedule(double base_ms, double cap_ms, int step, double jitter) {
+  if (base_ms <= 0.0) return 0.0;
+  double delay = base_ms;
+  for (int i = 0; i < step && delay < cap_ms; ++i) delay *= 2.0;
+  if (delay > cap_ms) delay = cap_ms;
+  return delay * (1.0 + 0.5 * jitter);
+}
+
+// ---- deterministic fault injection (see FaultKind) ----
+
+[[noreturn]] void inject_segv() {
+  util::breadcrumb::set_phase("injected-segv");
+  volatile int* null_ptr = nullptr;
+  *null_ptr = 42;                   // fatal: SIGSEGV (or an ASan report)
+  std::abort();                     // unreachable; keeps [[noreturn]] honest
+}
+
+[[noreturn]] void inject_oom() {
+  util::breadcrumb::set_phase("injected-oom");
+  // Allocate-and-touch until the address-space limit bites, then die the
+  // way a real noexcept-path allocation failure (or the kernel OOM killer)
+  // would.  Run this only under Isolation::kProcess with worker_rlimit_mb
+  // set, so the rlimit — not the host — bounds the blow-up.
+  std::vector<std::unique_ptr<char[]>> hog;
+  try {
+    for (;;) {
+      constexpr std::size_t kChunk = 16u << 20;
+      hog.push_back(std::make_unique<char[]>(kChunk));
+      std::memset(hog.back().get(), 0xA5, kChunk);
+    }
+  } catch (const std::bad_alloc&) {
+    std::abort();
+  }
+}
+
+[[noreturn]] void inject_hang() {
+  util::breadcrumb::set_phase("injected-hang");
+  // A wedged solve that never consults the cooperative watchdog: only the
+  // supervisor's heartbeat deadline can end this.
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
 }  // namespace
 
 const char* to_string(PointStatus status) {
@@ -65,6 +179,25 @@ const char* to_string(PointStatus status) {
     case PointStatus::kResumed: return "resumed";
     case PointStatus::kFailed: return "failed";
     case PointStatus::kTimeout: return "timeout";
+    case PointStatus::kPoisoned: return "poison";
+  }
+  return "?";
+}
+
+const char* to_string(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::kNone: return "none";
+    case Isolation::kProcess: return "process";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kSegv: return "segv";
+    case FaultKind::kOom: return "oom";
+    case FaultKind::kHang: return "hang";
   }
   return "?";
 }
@@ -74,36 +207,54 @@ void RunnerOptions::apply_env(const std::string& runner_name) {
     checkpoint = std::string(v) != "0";
   }
   if (const char* v = std::getenv("NVSRAM_SWEEP_TIMEOUT")) {
-    try {
-      point_timeout_sec = std::stod(v);
-    } catch (const std::exception&) {
-    }
+    point_timeout_sec = parse_env_double("NVSRAM_SWEEP_TIMEOUT", v, 0.0, 1e7);
   }
   if (const char* v = std::getenv("NVSRAM_SWEEP_RETRIES")) {
-    try {
-      max_attempts = std::stoi(v);
-    } catch (const std::exception&) {
-    }
+    max_attempts =
+        static_cast<int>(parse_env_int("NVSRAM_SWEEP_RETRIES", v, 1, 1000));
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_BACKOFF_MS")) {
+    retry_backoff_ms =
+        parse_env_double("NVSRAM_SWEEP_BACKOFF_MS", v, 0.0, 1e7);
   }
   if (const char* v = std::getenv("NVSRAM_SWEEP_THREADS")) {
-    try {
-      threads = std::stoi(v);
-    } catch (const std::exception&) {
+    threads =
+        static_cast<int>(parse_env_int("NVSRAM_SWEEP_THREADS", v, 0, 4096));
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_ISOLATION")) {
+    const std::string text(v);
+    if (text == "none") {
+      isolation = Isolation::kNone;
+    } else if (text == "process") {
+      isolation = Isolation::kProcess;
+    } else {
+      throw RunnerError("NVSRAM_SWEEP_ISOLATION: expected 'none' or "
+                        "'process', got '" + text + "'");
     }
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_HEARTBEAT")) {
+    heartbeat_timeout_sec =
+        parse_env_double("NVSRAM_SWEEP_HEARTBEAT", v, 0.0, 1e7);
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_RLIMIT_MB")) {
+    worker_rlimit_mb =
+        parse_env_double("NVSRAM_SWEEP_RLIMIT_MB", v, 0.0, 1 << 20);
   }
   if (const char* v = std::getenv("NVSRAM_SWEEP_SPIN_MS")) {
-    try {
-      point_spin_ms = std::stod(v);
-    } catch (const std::exception&) {
+    point_spin_ms = parse_env_double("NVSRAM_SWEEP_SPIN_MS", v, 0.0, 1e7);
+  }
+  if (const char* v = std::getenv("NVSRAM_SWEEP_FAULT")) {
+    std::string text(v);
+    if (unscope(runner_name, text)) {
+      parse_fault_spec("NVSRAM_SWEEP_FAULT", text, fault_kind, fault_point);
     }
   }
-  if (const int k = scoped_index(std::getenv("NVSRAM_SWEEP_FAULT"), runner_name);
-      k >= 0) {
-    fault_point = k;
-  }
-  if (const int k = scoped_index(std::getenv("NVSRAM_SWEEP_KILL"), runner_name);
-      k >= 0) {
-    kill_after_point = k;
+  if (const char* v = std::getenv("NVSRAM_SWEEP_KILL")) {
+    std::string text(v);
+    if (unscope(runner_name, text)) {
+      kill_after_point =
+          static_cast<int>(parse_env_int("NVSRAM_SWEEP_KILL", text, 0, 1 << 28));
+    }
   }
 }
 
@@ -116,17 +267,112 @@ std::string RunSummary::describe() const {
     std::snprintf(buf, sizeof(buf), "%.3f", wall_seconds);
     os << " in " << buf << " s";
   }
-  if (threads > 1) os << " on " << threads << " threads";
+  if (process_isolated) {
+    os << " on " << threads << " isolated worker"
+       << (threads == 1 ? "" : "s");
+    if (respawns) os << " (" << respawns << " respawned)";
+  } else if (threads > 1) {
+    os << " on " << threads << " threads";
+  }
   if (resumed) os << " (" << resumed << " resumed from checkpoint)";
   if (failed) {
     os << ", " << failed << " FAILED";
-    if (timeouts) os << " (" << timeouts << " timeout)";
+    if (timeouts || poisoned) {
+      os << " (";
+      if (timeouts) os << timeouts << " timeout";
+      if (timeouts && poisoned) os << ", ";
+      if (poisoned) os << poisoned << " poisoned";
+      os << ")";
+    }
     os << " -> " << manifest_path;
   }
   if (interrupted) os << ", INTERRUPTED";
   os << "]";
   return os.str();
 }
+
+namespace detail {
+
+double retry_backoff_ms(const RunnerOptions& options, std::size_t point,
+                        int attempt) {
+  if (attempt < 1) return 0.0;
+  return backoff_schedule(options.retry_backoff_ms,
+                          options.retry_backoff_cap_ms, attempt - 1,
+                          jitter01(point, static_cast<std::uint64_t>(attempt)));
+}
+
+double respawn_backoff_ms(const RunnerOptions& options, int slot, int respawn) {
+  return backoff_schedule(
+      options.respawn_backoff_ms, options.respawn_backoff_cap_ms, respawn,
+      jitter01(static_cast<std::uint64_t>(slot) + 0x51AB51AB,
+               static_cast<std::uint64_t>(respawn)));
+}
+
+PointResult solve_point(const RunnerOptions& options, std::size_t index,
+                        int worker, const SweepRunner::PointFn& fn,
+                        const std::function<void(double)>& sleep_ms) {
+  PointResult res;
+  PointOutcome& outcome = res.outcome;
+  outcome.index = index;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (options.point_spin_ms > 0.0) spin_for_ms(options.point_spin_ms);
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter before every retry;
+      // the scheduled (not measured) delay is what lands in the manifest,
+      // so the record is reproducible across modes and machines.
+      const double delay = retry_backoff_ms(options, index, attempt);
+      outcome.backoff_ms.push_back(delay);
+      if (delay > 0.0) {
+        if (sleep_ms) {
+          sleep_ms(delay);
+        } else {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay));
+        }
+      }
+    }
+    outcome.attempts = attempt + 1;
+    util::breadcrumb::set_point(index, attempt);
+    try {
+      if (static_cast<int>(index) == options.fault_point) {
+        switch (options.fault_kind) {
+          case FaultKind::kThrow:
+            throw std::runtime_error("injected sweep fault (fault_point=" +
+                                     std::to_string(index) + ")");
+          case FaultKind::kSegv: inject_segv();
+          case FaultKind::kOom: inject_oom();
+          case FaultKind::kHang: inject_hang();
+        }
+      }
+      PointContext ctx;
+      ctx.index = index;
+      ctx.attempt = attempt;
+      ctx.max_attempts = options.max_attempts;
+      ctx.timeout_sec = options.point_timeout_sec;
+      ctx.worker = worker;
+      res.rows = fn(ctx);
+      outcome.status = attempt > 0 ? PointStatus::kRecovered : PointStatus::kOk;
+      outcome.error.clear();
+      res.succeeded = true;
+      break;
+    } catch (const util::WatchdogError& e) {
+      outcome.status = PointStatus::kTimeout;
+      outcome.error = e.what();
+      break;  // a timed-out point would time out again: no retry
+    } catch (const std::exception& e) {
+      outcome.status = PointStatus::kFailed;
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.status = PointStatus::kFailed;
+      outcome.error = "non-standard exception";
+    }
+  }
+  outcome.seconds = seconds_since(t0);
+  return res;
+}
+
+}  // namespace detail
 
 SweepRunner::SweepRunner(std::string name, RunnerOptions options)
     : name_(std::move(name)), options_(std::move(options)) {
@@ -142,12 +388,30 @@ SweepRunner::SweepRunner(std::string name, RunnerOptions options)
 RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
   const auto run_t0 = std::chrono::steady_clock::now();
 
+  // Fault kinds that kill or wedge their executor are only containable in a
+  // worker subprocess; injecting them in-process would turn a drill into a
+  // genuine crash of the whole sweep.
+  Isolation isolation = options_.isolation;
+  if (isolation == Isolation::kProcess && !supervisor::available()) {
+    util::log_warn() << "sweep " << name_
+                     << ": process isolation unavailable on this platform; "
+                        "falling back to the in-process pool";
+    isolation = Isolation::kNone;
+  }
+  if (options_.fault_point >= 0 && options_.fault_kind != FaultKind::kThrow &&
+      isolation != Isolation::kProcess) {
+    throw RunnerError(std::string("SweepRunner ") + name_ + ": fault kind '" +
+                      to_string(options_.fault_kind) +
+                      "' requires isolation=process");
+  }
+
   RunSummary summary;
   summary.name = name_;
   summary.csv_path = options_.csv_path;
   summary.manifest_path = options_.csv_path + ".failures.csv";
   summary.outcomes.resize(n_points);
   summary.rows.resize(n_points);
+  summary.process_isolated = isolation == Isolation::kProcess;
 
   std::map<std::size_t, Rows> done;
   if (options_.checkpoint) {
@@ -167,126 +431,22 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
   threads = std::min(threads, std::max<std::size_t>(fresh, 1));
   summary.threads = static_cast<int>(threads);
 
-  util::CsvWriter csv(options_.csv_path, options_.csv_columns);
-
-  struct PointResult {
-    PointOutcome outcome;
-    Rows rows;
-    bool succeeded = false;
-  };
-
-  // Runs one point's attempt loop.  Safe to call from any worker thread:
-  // everything it touches is per-point (the options are read-only).
-  auto solve_point = [&](std::size_t i, int worker) -> PointResult {
-    PointResult res;
-    PointOutcome& outcome = res.outcome;
-    outcome.index = i;
-    const auto t0 = std::chrono::steady_clock::now();
-    if (options_.point_spin_ms > 0.0) spin_for_ms(options_.point_spin_ms);
-    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-      outcome.attempts = attempt + 1;
-      try {
-        if (static_cast<int>(i) == options_.fault_point) {
-          throw std::runtime_error("injected sweep fault (fault_point=" +
-                                   std::to_string(i) + ")");
-        }
-        PointContext ctx;
-        ctx.index = i;
-        ctx.attempt = attempt;
-        ctx.max_attempts = options_.max_attempts;
-        ctx.timeout_sec = options_.point_timeout_sec;
-        ctx.worker = worker;
-        res.rows = fn(ctx);
-        outcome.status =
-            attempt > 0 ? PointStatus::kRecovered : PointStatus::kOk;
-        outcome.error.clear();
-        res.succeeded = true;
-        break;
-      } catch (const util::WatchdogError& e) {
-        outcome.status = PointStatus::kTimeout;
-        outcome.error = e.what();
-        break;  // a timed-out point would time out again: no retry
-      } catch (const std::exception& e) {
-        outcome.status = PointStatus::kFailed;
-        outcome.error = e.what();
-      } catch (...) {
-        outcome.status = PointStatus::kFailed;
-        outcome.error = "non-standard exception";
-      }
-    }
-    outcome.seconds = seconds_since(t0);
-    return res;
-  };
-
-  // Commits one freshly computed point.  Runs ONLY on the calling thread and
-  // strictly in point order — this is what keeps CSV/checkpoint/manifest
-  // bytes identical to a serial run.  Returns false to stop the sweep
-  // (harness error or the stop drill).
-  std::string harness_error;
-  auto commit = [&](std::size_t i, PointResult res) -> bool {
-    // Harness-level contract violation, not a point failure: a malformed
-    // row would corrupt the CSV and the checkpoint, so abort the sweep.
-    if (res.succeeded) {
-      for (const auto& row : res.rows) {
-        if (row.size() != options_.csv_columns.size()) {
-          harness_error = "SweepRunner " + name_ +
-                          ": row width mismatch at point " + std::to_string(i);
-          return false;
-        }
-      }
-    }
-    summary.outcomes[i] = std::move(res.outcome);
-    const PointOutcome& outcome = summary.outcomes[i];
-    if (res.succeeded) {
-      summary.rows[i] = std::move(res.rows);
-      for (const auto& row : summary.rows[i]) csv.row(row);
-      ++summary.completed;
-      done.emplace(i, summary.rows[i]);
-      if (options_.checkpoint) {
-        checkpoint::store(options_.checkpoint_path, name_,
-                          options_.csv_columns, done);
-      }
-    } else {
-      ++summary.failed;
-      if (outcome.status == PointStatus::kTimeout) ++summary.timeouts;
-      util::log_warn() << "sweep " << name_ << ": point " << i << " "
-                       << to_string(outcome.status) << " after "
-                       << outcome.attempts << " attempt(s): " << outcome.error;
-    }
-
-    // Crash drill: die hard right after the checkpoint hit disk, skipping
-    // every destructor (so the CSV is left truncated like a real crash).
-    if (static_cast<int>(i) == options_.kill_after_point) {
-      std::_Exit(3);
-    }
-    if (static_cast<int>(i) == options_.stop_after_point) {
-      summary.interrupted = true;
-      return false;
-    }
-    return true;
-  };
-
-  // Emits a checkpointed point (no recomputation, no drills — matching the
-  // serial-era semantics where resumed points skip the drill checks).
-  auto commit_resumed = [&](std::size_t i, const Rows& rows) {
-    PointOutcome& outcome = summary.outcomes[i];
-    outcome.index = i;
-    outcome.status = PointStatus::kResumed;
-    outcome.attempts = 0;
-    summary.rows[i] = rows;
-    for (const auto& row : rows) csv.row(row);
-    ++summary.resumed;
-    ++summary.completed;
-  };
+  Committer committer(name_, options_, summary, std::move(done));
 
   bool stopped = false;
-  if (threads <= 1) {
+  if (isolation == Isolation::kProcess) {
+    supervisor::run(name_, options_, n_points, fn, threads, committer,
+                    summary, stopped);
+  } else if (threads <= 1) {
     for (std::size_t i = 0; i < n_points && !stopped; ++i) {
-      if (const auto it = done.find(i); it != done.end()) {
-        commit_resumed(i, it->second);
+      if (committer.is_resumed(i)) {
+        committer.commit_resumed(i);
         continue;
       }
-      if (!commit(i, solve_point(i, /*worker=*/0))) stopped = true;
+      if (!committer.commit(i, detail::solve_point(options_, i, /*worker=*/0,
+                                                   fn))) {
+        stopped = true;
+      }
     }
   } else {
     // Worker pool with an in-order reorder buffer: workers pull fresh point
@@ -297,7 +457,7 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
     std::vector<std::size_t> pending;
     pending.reserve(fresh);
     for (std::size_t i = 0; i < n_points; ++i) {
-      if (done.find(i) == done.end()) pending.push_back(i);
+      if (!committer.is_resumed(i)) pending.push_back(i);
     }
 
     std::mutex mu;
@@ -323,7 +483,8 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
           const std::size_t k =
               cursor.fetch_add(1, std::memory_order_relaxed);
           if (k >= pending.size()) return;
-          PointResult res = solve_point(pending[k], static_cast<int>(w));
+          PointResult res = detail::solve_point(options_, pending[k],
+                                                static_cast<int>(w), fn);
           {
             std::lock_guard<std::mutex> lock(mu);
             ready.emplace(pending[k], std::move(res));
@@ -334,8 +495,8 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
     }
 
     for (std::size_t i = 0; i < n_points && !stopped; ++i) {
-      if (const auto it = done.find(i); it != done.end()) {
-        commit_resumed(i, it->second);
+      if (committer.is_resumed(i)) {
+        committer.commit_resumed(i);
         continue;
       }
       PointResult res;
@@ -347,7 +508,7 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
         ready.erase(it);
       }
       cv.notify_all();  // free a backpressure slot
-      if (!commit(i, std::move(res))) stopped = true;
+      if (!committer.commit(i, std::move(res))) stopped = true;
     }
 
     // Drain: in-flight points finish and are discarded uncommitted, so the
@@ -357,30 +518,13 @@ RunSummary SweepRunner::run(std::size_t n_points, const PointFn& fn) {
     for (auto& t : pool) t.join();
   }
 
-  if (!harness_error.empty()) throw std::runtime_error(harness_error);
+  if (!committer.harness_error().empty()) {
+    throw RunnerError(committer.harness_error());
+  }
   summary.wall_seconds = seconds_since(run_t0);
   if (summary.interrupted) return summary;
 
-  // Failure manifest: written on every completed run, even when empty, so
-  // downstream tooling can rely on its existence.
-  {
-    std::ofstream manifest(summary.manifest_path, std::ios::trunc);
-    if (!manifest) {
-      throw std::runtime_error("SweepRunner: cannot write " +
-                               summary.manifest_path);
-    }
-    manifest << "point,status,attempts,error\n";
-    for (const auto& outcome : summary.outcomes) {
-      if (outcome.ok()) continue;
-      manifest << outcome.index << ',' << to_string(outcome.status) << ','
-               << outcome.attempts << ',' << sanitize(outcome.error) << '\n';
-    }
-  }
-
-  csv.flush();
-  if (options_.checkpoint && summary.failed == 0) {
-    checkpoint::remove(options_.checkpoint_path);
-  }
+  committer.finalize();
   return summary;
 }
 

@@ -1,0 +1,124 @@
+#include "util/breadcrumb.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace nvsram::util::breadcrumb {
+
+namespace {
+
+// All state is process-global and only mutated from the worker's main
+// thread; the signal handler merely write()s the pre-formatted frame, so a
+// crash that lands mid-rebuild at worst emits a torn breadcrumb (the
+// supervisor treats the breadcrumb as best-effort and always trusts
+// waitpid for the authoritative cause of death).
+int g_file_fd = -1;
+int g_crash_fd = -1;
+bool g_armed = false;
+
+std::size_t g_point = 0;
+int g_attempt = 0;
+char g_phase[160] = "start";
+
+char g_line[480];
+std::size_t g_line_len = 0;
+
+// Pre-formatted CRASH frame: u32 little-endian payload length, one type
+// byte, then the payload text.  The wire layout and the type value 4 MUST
+// match runner/ipc.h (FrameType::kCrash) — duplicated here because util
+// cannot depend on the runner layer.
+constexpr unsigned char kCrashFrameType = 4;
+char g_frame[512];
+std::size_t g_frame_len = 0;
+
+const int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+extern "C" void on_fatal_signal(int sig) {
+#if !defined(_WIN32)
+  if (g_crash_fd >= 0 && g_frame_len > 0) {
+    // Single write of a small frame: atomic w.r.t. the pipe (< PIPE_BUF).
+    [[maybe_unused]] ssize_t rc = ::write(g_crash_fd, g_frame, g_frame_len);
+  }
+#endif
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+// Re-formats the line + frame and eagerly rewrites the breadcrumb file.
+// Ordinary (non-signal) context only.
+void rebuild(bool idle) {
+  if (!g_armed) return;
+  if (idle) {
+    g_line_len = static_cast<std::size_t>(
+        std::snprintf(g_line, sizeof(g_line), "idle"));
+  } else {
+    g_line_len = static_cast<std::size_t>(
+        std::snprintf(g_line, sizeof(g_line), "point=%zu attempt=%d phase=%s",
+                      g_point, g_attempt, g_phase));
+  }
+  if (g_line_len >= sizeof(g_line)) g_line_len = sizeof(g_line) - 1;
+
+  const std::size_t payload = g_line_len;
+  g_frame[0] = static_cast<char>(payload & 0xFF);
+  g_frame[1] = static_cast<char>((payload >> 8) & 0xFF);
+  g_frame[2] = static_cast<char>((payload >> 16) & 0xFF);
+  g_frame[3] = static_cast<char>((payload >> 24) & 0xFF);
+  g_frame[4] = static_cast<char>(kCrashFrameType);
+  std::memcpy(g_frame + 5, g_line, payload);
+  g_frame_len = payload + 5;
+
+#if !defined(_WIN32)
+  if (g_file_fd >= 0) {
+    [[maybe_unused]] ssize_t rc = ::pwrite(g_file_fd, g_line, g_line_len, 0);
+    [[maybe_unused]] int trc =
+        ::ftruncate(g_file_fd, static_cast<off_t>(g_line_len));
+  }
+#endif
+}
+
+}  // namespace
+
+void arm(int file_fd, int crash_frame_fd) {
+  g_file_fd = file_fd;
+  g_crash_fd = crash_frame_fd;
+  g_armed = true;
+  for (int sig : kFatalSignals) std::signal(sig, on_fatal_signal);
+  rebuild(/*idle=*/true);
+}
+
+void disarm() {
+  if (!g_armed) return;
+  for (int sig : kFatalSignals) std::signal(sig, SIG_DFL);
+  g_armed = false;
+  g_file_fd = -1;
+  g_crash_fd = -1;
+  g_frame_len = 0;
+}
+
+bool armed() { return g_armed; }
+
+void set_point(std::size_t index, int attempt) {
+  if (!g_armed) return;
+  g_point = index;
+  g_attempt = attempt;
+  std::snprintf(g_phase, sizeof(g_phase), "start");
+  rebuild(/*idle=*/false);
+}
+
+void set_phase(const char* phase) {
+  if (!g_armed) return;
+  std::snprintf(g_phase, sizeof(g_phase), "%s", phase ? phase : "?");
+  rebuild(/*idle=*/false);
+}
+
+void set_idle() {
+  if (!g_armed) return;
+  rebuild(/*idle=*/true);
+}
+
+}  // namespace nvsram::util::breadcrumb

@@ -1,0 +1,45 @@
+// Worker-side crash breadcrumb: a one-line "point=<i> attempt=<a>
+// phase=<step>" record of what a sweep worker subprocess is doing right
+// now, maintained so its supervisor can attribute a crash to the exact
+// point and characterization phase that killed the process.
+//
+// Two channels, both best-effort:
+//   * a pre-opened breadcrumb FILE fd, eagerly rewritten on every
+//     set_point / set_phase call — survives even SIGKILL (the supervisor
+//     reads the file after the worker's death), and
+//   * a pre-formatted CRASH frame (runner/ipc.h framing) written by the
+//     fatal-signal handler onto the result pipe before the signal is
+//     re-raised — delivers the breadcrumb in-band for SIGSEGV / SIGABRT /
+//     SIGBUS / SIGFPE / SIGILL.
+//
+// Everything is process-global and lock-free (a worker is single-threaded);
+// when unarmed — i.e. in ordinary in-process execution — every call is a
+// cheap no-op, so hot paths like CellCharacterizer::characterize can call
+// set_phase unconditionally.  Lives in util (not runner) so sram/ can hook
+// phases without depending on the runner layer.
+#pragma once
+
+#include <cstddef>
+
+namespace nvsram::util::breadcrumb {
+
+// Arms the breadcrumb for this process: `file_fd` receives the eager
+// rewrites (pass -1 to skip), `crash_frame_fd` receives the signal-handler
+// CRASH frame (pass -1 to skip).  Installs handlers for the fatal signals
+// listed above; each handler writes the frame and re-raises with the
+// default disposition so the parent still sees the true signal.
+void arm(int file_fd, int crash_frame_fd);
+
+// Restores default signal dispositions and forgets the fds (the caller
+// owns and closes them).  Safe to call when unarmed.
+void disarm();
+
+bool armed();
+
+// Updates the current-position line.  set_point resets the phase to
+// "start"; set_phase keeps the current point.  No-ops when unarmed.
+void set_point(std::size_t index, int attempt);
+void set_phase(const char* phase);
+void set_idle();
+
+}  // namespace nvsram::util::breadcrumb

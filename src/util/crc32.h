@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for cheap on-disk
+// integrity checks — the sweep checkpoint appends one per row so a torn or
+// bit-flipped record is detected at resume instead of being replayed into
+// the CSV (see runner/checkpoint.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nvsram::util {
+
+// Plain table-driven CRC-32; crc of the empty string is 0.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+inline std::uint32_t crc32(std::string_view text) {
+  return crc32(text.data(), text.size());
+}
+
+}  // namespace nvsram::util

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -54,7 +55,7 @@ TEST(SweepRunner, AllPointsSucceed) {
   EXPECT_EQ(s.rows[3].front()[1], 9.0);
   // CSV: header + 5 rows; empty manifest (header only).
   EXPECT_EQ(slurp(s.csv_path).substr(0, 4), "x,y\n");
-  EXPECT_EQ(slurp(s.manifest_path), "point,status,attempts,error\n");
+  EXPECT_EQ(slurp(s.manifest_path), "point,status,attempts,backoff_ms,error\n");
   // Fully successful sweep leaves no checkpoint behind.
   EXPECT_TRUE(checkpoint::load(run.options().checkpoint_path, "ok",
                                {"x", "y"}, 5)
@@ -87,9 +88,13 @@ TEST(SweepRunner, FailingPointIsSkippedAndRecorded) {
             "1.000000e+00,1.000000e+00\n"
             "3.000000e+00,9.000000e+00\n"
             "4.000000e+00,1.600000e+01\n");
-  // Manifest lists the point; the comma inside the message is sanitized.
+  // Manifest lists the point with its scheduled backoff delay; the comma
+  // inside the message is sanitized.
   const std::string manifest = slurp(s.manifest_path);
-  EXPECT_NE(manifest.find("2,failed,2,synthetic; failure"), std::string::npos);
+  char expect[128];
+  std::snprintf(expect, sizeof(expect), "2,failed,2,%.6g,synthetic; failure",
+                detail::retry_backoff_ms(run.options(), 2, 1));
+  EXPECT_NE(manifest.find(expect), std::string::npos) << manifest;
 }
 
 TEST(SweepRunner, RetrySucceedsAndCountsAsRecovered) {
@@ -202,6 +207,219 @@ TEST(SweepRunner, EnvDrillsAreScopedByRunnerName) {
   const auto s = SweepRunner("envtest", opts).run(3, square_point);
   EXPECT_EQ(s.failed, 1u);
   EXPECT_FALSE(s.point_ok(1));
+}
+
+// ---- retry backoff (exponential + deterministic jitter) ----
+
+TEST(SweepBackoff, ScheduleIsDeterministicAndExponential) {
+  RunnerOptions opts;
+  opts.retry_backoff_ms = 10.0;
+  opts.retry_backoff_cap_ms = 1000.0;
+  // Pure function of (options, point, attempt): identical on every call.
+  for (std::size_t p : {0u, 3u, 17u}) {
+    for (int a = 1; a <= 4; ++a) {
+      EXPECT_EQ(detail::retry_backoff_ms(opts, p, a),
+                detail::retry_backoff_ms(opts, p, a));
+    }
+  }
+  // Exponential envelope: base * 2^(a-1) <= delay <= 1.5x that (jitter).
+  for (int a = 1; a <= 4; ++a) {
+    const double d = detail::retry_backoff_ms(opts, 5, a);
+    const double lo = 10.0 * (1 << (a - 1));
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, 1.5 * lo);
+  }
+  // Jitter is seeded from the point index: distinct points decorrelate.
+  EXPECT_NE(detail::retry_backoff_ms(opts, 1, 1),
+            detail::retry_backoff_ms(opts, 2, 1));
+  // The cap bounds the exponential.
+  EXPECT_LE(detail::retry_backoff_ms(opts, 1, 30), 1.5 * 1000.0);
+  // Attempt 0 (first try) and disabled backoff cost nothing.
+  EXPECT_EQ(detail::retry_backoff_ms(opts, 1, 0), 0.0);
+  opts.retry_backoff_ms = 0.0;
+  EXPECT_EQ(detail::retry_backoff_ms(opts, 1, 3), 0.0);
+}
+
+TEST(SweepBackoff, DelaysAreRecordedPerAttempt) {
+  auto opts = base_options("backoff");
+  opts.max_attempts = 3;
+  opts.retry_backoff_ms = 1.0;  // fast but nonzero
+  SweepRunner run("backoff", opts);
+  const auto s = run.run(3, [&](const PointContext& pc) -> Rows {
+    if (pc.index == 1) throw std::runtime_error("always fails");
+    return square_point(pc);
+  });
+  ASSERT_EQ(s.outcomes[1].attempts, 3);
+  ASSERT_EQ(s.outcomes[1].backoff_ms.size(), 2u);  // before attempts 1 and 2
+  EXPECT_EQ(s.outcomes[1].backoff_ms[0], detail::retry_backoff_ms(opts, 1, 1));
+  EXPECT_EQ(s.outcomes[1].backoff_ms[1], detail::retry_backoff_ms(opts, 1, 2));
+  // Successful points record no delays.
+  EXPECT_TRUE(s.outcomes[0].backoff_ms.empty());
+}
+
+TEST(SweepBackoff, RespawnScheduleIsDeterministic) {
+  RunnerOptions opts;
+  EXPECT_EQ(detail::respawn_backoff_ms(opts, 0, 1),
+            detail::respawn_backoff_ms(opts, 0, 1));
+  EXPECT_NE(detail::respawn_backoff_ms(opts, 0, 1),
+            detail::respawn_backoff_ms(opts, 1, 1));
+  EXPECT_GT(detail::respawn_backoff_ms(opts, 0, 3),
+            detail::respawn_backoff_ms(opts, 0, 0));
+}
+
+// ---- strict NVSRAM_SWEEP_* parsing ----
+
+TEST(SweepEnv, MalformedValuesThrowNamingTheVariable) {
+  auto check_throws = [](const char* var, const char* value,
+                         const char* needle) {
+    ::setenv(var, value, 1);
+    RunnerOptions opts;
+    try {
+      opts.apply_env("envstrict");
+      ADD_FAILURE() << var << "=" << value << " did not throw";
+    } catch (const RunnerError& e) {
+      EXPECT_NE(std::string(e.what()).find(var), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+    ::unsetenv(var);
+  };
+  check_throws("NVSRAM_SWEEP_THREADS", "four", "expected an integer");
+  check_throws("NVSRAM_SWEEP_THREADS", "4x", "expected an integer");
+  check_throws("NVSRAM_SWEEP_THREADS", "-2", "outside");
+  check_throws("NVSRAM_SWEEP_RETRIES", "0", "outside");
+  check_throws("NVSRAM_SWEEP_TIMEOUT", "soon", "expected a number");
+  check_throws("NVSRAM_SWEEP_TIMEOUT", "-1", "outside");
+  check_throws("NVSRAM_SWEEP_SPIN_MS", "", "expected a number");
+  check_throws("NVSRAM_SWEEP_ISOLATION", "container", "process");
+  check_throws("NVSRAM_SWEEP_FAULT", "envstrict:kaboom@3", "unknown fault kind");
+  check_throws("NVSRAM_SWEEP_FAULT", "envstrict:segv@x", "expected an integer");
+  check_throws("NVSRAM_SWEEP_KILL", "envstrict:last", "expected an integer");
+}
+
+TEST(SweepEnv, FaultKindVocabularyParses) {
+  ::setenv("NVSRAM_SWEEP_FAULT", "segv@7", 1);
+  RunnerOptions opts;
+  opts.apply_env("anyrunner");
+  EXPECT_EQ(opts.fault_point, 7);
+  EXPECT_EQ(opts.fault_kind, FaultKind::kSegv);
+
+  ::setenv("NVSRAM_SWEEP_FAULT", "scoped:hang@2", 1);
+  RunnerOptions scoped;
+  scoped.apply_env("scoped");
+  EXPECT_EQ(scoped.fault_point, 2);
+  EXPECT_EQ(scoped.fault_kind, FaultKind::kHang);
+  RunnerOptions other;
+  other.apply_env("otherrunner");  // scoped away: untouched
+  EXPECT_EQ(other.fault_point, -1);
+
+  ::setenv("NVSRAM_SWEEP_FAULT", "oom@0", 1);
+  RunnerOptions oom;
+  oom.apply_env("x");
+  EXPECT_EQ(oom.fault_kind, FaultKind::kOom);
+
+  ::setenv("NVSRAM_SWEEP_FAULT", "4", 1);
+  RunnerOptions plain;
+  plain.apply_env("x");
+  EXPECT_EQ(plain.fault_kind, FaultKind::kThrow);
+  EXPECT_EQ(plain.fault_point, 4);
+  ::unsetenv("NVSRAM_SWEEP_FAULT");
+}
+
+TEST(SweepEnv, CrashFaultKindsRequireProcessIsolation) {
+  auto opts = base_options("needsiso");
+  opts.fault_point = 1;
+  opts.fault_kind = FaultKind::kSegv;
+  EXPECT_THROW((void)SweepRunner("needsiso", opts).run(3, square_point),
+               RunnerError);
+}
+
+// ---- checkpoint CRC (v2) + v1 compatibility ----
+
+TEST(SweepCheckpoint, V1FilesStillLoad) {
+  const std::string path = tmp_csv("v1compat") + ".ckpt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "nvsram-sweep-checkpoint v1\n"
+        << "name=v1compat\n"
+        << "columns=x,y\n"
+        << "point=0 rows=1\n"
+        << "0 0\n"
+        << "point=2 rows=1\n"
+        << "2 4\n"
+        << "end\n";
+  }
+  const auto done = checkpoint::load(path, "v1compat", {"x", "y"}, 4);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done.at(2).front()[1], 4.0);
+}
+
+TEST(SweepCheckpoint, CorruptTailRewindsToValidPrefix) {
+  // Write a real v2 checkpoint with 3 points, then corrupt point 1's row.
+  const std::string path = tmp_csv("crc") + ".ckpt";
+  std::map<std::size_t, Rows> done;
+  done[0] = {{0.0, 0.0}};
+  done[1] = {{1.0, 1.0}};
+  done[2] = {{2.0, 4.0}};
+  checkpoint::store(path, "crc", {"x", "y"}, done);
+  ASSERT_EQ(checkpoint::load(path, "crc", {"x", "y"}, 3).size(), 3u);
+
+  std::string text = slurp(path);
+  const std::size_t row1 = text.find("\n1 1 *");
+  ASSERT_NE(row1, std::string::npos);
+  text[row1 + 1] = '7';  // flip the first value byte of point 1's row
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+  const auto loaded = checkpoint::load(path, "crc", {"x", "y"}, 3);
+  // Point 0 survives; the corrupted record and everything after rewind.
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.count(0), 1u);
+}
+
+TEST(SweepCheckpoint, TruncatedMidRowRewinds) {
+  const std::string path = tmp_csv("trunc") + ".ckpt";
+  std::map<std::size_t, Rows> done;
+  done[0] = {{0.0, 0.0}};
+  done[1] = {{1.0, 1.0}};
+  checkpoint::store(path, "trunc", {"x", "y"}, done);
+  std::string text = slurp(path);
+  const std::size_t cut = text.find("point=1");
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text.substr(0, cut + 10);  // torn mid-record
+  }
+  const auto loaded = checkpoint::load(path, "trunc", {"x", "y"}, 2);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.count(0), 1u);
+}
+
+TEST(SweepCheckpoint, CorruptionHealsToByteIdenticalResume) {
+  // Reference: clean uninterrupted run.
+  SweepRunner ref("crcresume", base_options("crcresume_ref"));
+  const auto s_ref = ref.run(5, square_point);
+
+  // Interrupted run leaves a checkpoint with 3 points; corrupt its tail.
+  auto opts = base_options("crcresume");
+  opts.stop_after_point = 2;
+  (void)SweepRunner("crcresume", opts).run(5, square_point);
+  const std::string ckpt = opts.csv_path + ".ckpt";
+  std::string text = slurp(ckpt);
+  ASSERT_FALSE(text.empty());
+  text[text.size() - 8] ^= 0x20;  // garble inside the trailing bytes
+  {
+    std::ofstream out(ckpt, std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+
+  // Resume recomputes whatever rewound and still matches byte-for-byte.
+  auto opts2 = base_options("crcresume");
+  const auto s2 = SweepRunner("crcresume", opts2).run(5, square_point);
+  EXPECT_TRUE(s2.all_ok());
+  EXPECT_EQ(slurp(s2.csv_path), slurp(s_ref.csv_path));
 }
 
 TEST(SweepRunner, RowWidthMismatchIsAHarnessError) {
