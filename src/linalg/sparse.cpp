@@ -6,9 +6,11 @@
 namespace nvsram::linalg {
 
 CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.dimension()) {
-  // Sort triplets by (row, col) and merge duplicates.
+  // Sort triplets by (row, col) and merge duplicates.  The sort must be
+  // stable so duplicates accumulate in stamping order — the contract that
+  // lets CsrAssembler::assemble() reproduce this constructor bit-for-bit.
   std::vector<Triplet> t = builder.triplets();
-  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+  std::stable_sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
     return a.row != b.row ? a.row < b.row : a.col < b.col;
   });
 
@@ -60,12 +62,66 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
 
 DenseMatrix CsrMatrix::to_dense() const {
   DenseMatrix d(n_, n_);
+  to_dense_into(d);
+  return d;
+}
+
+void CsrMatrix::to_dense_into(DenseMatrix& out) const {
+  out.resize(n_, n_);
+  out.set_zero();
   for (std::size_t r = 0; r < n_; ++r) {
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      d(r, col_idx_[k]) = values_[k];
+      out(r, col_idx_[k]) = values_[k];
     }
   }
-  return d;
+}
+
+void CsrAssembler::assemble(const SparseBuilder& builder, CsrMatrix& out) {
+  if (!planned_ || !plan_matches(builder)) {
+    // Position sequence changed (or first call): fall back to the sorting
+    // constructor and record its layout for subsequent assemblies.
+    out = CsrMatrix(builder);
+    replan(builder, out);
+    return;
+  }
+  out.n_ = n_;
+  out.row_ptr_ = row_ptr_;
+  out.col_idx_ = col_idx_;
+  out.values_.assign(col_idx_.size(), 0.0);
+  const auto& t = builder.triplets();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out.values_[slot_[i]] += t[i].value;
+  }
+}
+
+bool CsrAssembler::plan_matches(const SparseBuilder& builder) const {
+  const auto& t = builder.triplets();
+  if (builder.dimension() != n_ || t.size() != pos_row_.size()) return false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].row != pos_row_[i] || t[i].col != pos_col_[i]) return false;
+  }
+  return true;
+}
+
+void CsrAssembler::replan(const SparseBuilder& builder,
+                          const CsrMatrix& reference) {
+  const auto& t = builder.triplets();
+  n_ = builder.dimension();
+  row_ptr_ = reference.row_ptr_;
+  col_idx_ = reference.col_idx_;
+  pos_row_.resize(t.size());
+  pos_col_.resize(t.size());
+  slot_.resize(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    pos_row_[i] = t[i].row;
+    pos_col_[i] = t[i].col;
+    // Binary search the (sorted) column list of this row for the slot.
+    const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[t[i].row]);
+    const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[t[i].row + 1]);
+    const auto it = std::lower_bound(begin, end, t[i].col);
+    slot_[i] = static_cast<std::size_t>(it - col_idx_.begin());
+  }
+  planned_ = true;
 }
 
 }  // namespace nvsram::linalg

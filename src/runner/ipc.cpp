@@ -169,17 +169,20 @@ ReadStatus read_frame(int fd, Frame& out) {
 #endif
 }
 
-std::vector<std::uint8_t> encode_request(std::uint64_t index) {
+std::vector<std::uint8_t> encode_request(std::uint64_t begin,
+                                         std::uint64_t count) {
   std::vector<std::uint8_t> out;
-  put_u64(out, index);
+  put_u64(out, begin);
+  put_u64(out, count);
   return out;
 }
 
 bool decode_request(const std::vector<std::uint8_t>& payload,
-                    std::uint64_t& index) {
+                    std::uint64_t& begin, std::uint64_t& count) {
   Reader r{payload};
-  index = r.u64();
-  return r.ok && r.pos == payload.size();
+  begin = r.u64();
+  count = r.u64();
+  return r.ok && r.pos == payload.size() && count > 0;
 }
 
 std::vector<std::uint8_t> encode_result(const PointResult& res) {

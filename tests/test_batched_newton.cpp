@@ -1,0 +1,330 @@
+// Differential tier: the batched multi-point Newton driver must reproduce
+// the scalar solver bit for bit.
+//
+// Every test here compares a lockstep batched solve (BatchedNewton /
+// solve_dc_lanes / static_power_lanes) against the scalar reference on
+// per-lane clones of the same netlist.  Equality is asserted with EXPECT_EQ
+// on the raw unknown vectors: the only permitted divergence is the sign of
+// exact-zero entries (the batched triangular solves skip a column only when
+// it is zero in *all* lanes, so a lane can see -0.0 where the scalar path
+// produced +0.0), and -0.0 == 0.0 under operator== — so plain EXPECT_EQ
+// encodes the contract exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/paper_params.h"
+#include "spice/dc.h"
+#include "spice/netlist_parser.h"
+#include "spice/newton.h"
+#include "sram/array.h"
+#include "sram/characterize.h"
+#include "sram/testbench.h"
+
+namespace {
+
+using namespace nvsram;
+
+std::string read_netlist(const std::string& name) {
+  const std::string path = std::string(NVSRAM_NETLIST_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kFiles = {
+      "mtj_sense.cir", "nvsram_cell_full.cir", "nvsram_store.cir",
+      "rc_bode.cir",   "sram_latch.cir"};
+  return kFiles;
+}
+
+void expect_same_vector(const linalg::Vector& ref, const linalg::Vector& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << what << " diverges at unknown " << i;
+  }
+}
+
+// ---- netlist corpus, K in {1, 2, 4, 8} -------------------------------------
+
+// Each lane is a fresh parse of the same netlist; the scalar reference is
+// DCAnalysis::solve() on its own parse.  Both sides start from zeros and run
+// the identical recovery ladder, so converged/nullopt status and the raw
+// solution vector must match exactly.
+TEST(BatchedNewtonDifferential, DcOperatingPointMatchesScalarAcrossCorpus) {
+  for (const auto& name : corpus()) {
+    const std::string text = read_netlist(name);
+
+    spice::NetlistParser ref_parser;
+    auto ref_net = ref_parser.parse(text);
+    ASSERT_NE(ref_net, nullptr) << name;
+    spice::DCAnalysis ref_dc(ref_net->circuit());
+    const auto ref = ref_dc.solve();
+
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                          std::size_t{8}}) {
+      std::vector<std::unique_ptr<spice::ParsedNetlist>> nets;
+      std::vector<spice::Circuit*> circuits;
+      for (std::size_t l = 0; l < k; ++l) {
+        spice::NetlistParser p;
+        nets.push_back(p.parse(text));
+        ASSERT_NE(nets.back(), nullptr) << name;
+        circuits.push_back(&nets.back()->circuit());
+      }
+      const auto lanes = spice::solve_dc_lanes(circuits);
+      ASSERT_EQ(lanes.size(), k) << name;
+      for (std::size_t l = 0; l < k; ++l) {
+        ASSERT_EQ(ref.has_value(), lanes[l].has_value())
+            << name << " lane " << l << "/" << k;
+        if (ref.has_value()) {
+          expect_same_vector(ref->raw(), lanes[l]->raw(),
+                             name + " lane " + std::to_string(l) + "/" +
+                                 std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+// ---- static-power corners through the cell testbench -----------------------
+
+// The five corners characterize() batches, plus both data polarities, for
+// both cell kinds.  The scalar reference runs sequentially on a single
+// testbench (the pre-batch code path); the lanes run on per-corner clones.
+TEST(BatchedNewtonDifferential, StaticPowerLanesMatchSequentialScalar) {
+  using Mode = sram::CellTestbench::StaticMode;
+  const std::vector<std::pair<Mode, bool>> corners = {
+      {Mode::kNormal, true},   {Mode::kNormal, false}, {Mode::kSleep, true},
+      {Mode::kSleep, false},   {Mode::kShutdown, true},
+      {Mode::kShutdown, false}};
+
+  const auto pp = models::PaperParams::table1();
+  const sram::TestbenchOptions opts{.ideal_bitlines = true};
+  for (auto kind : {sram::CellKind::k6T, sram::CellKind::kNvSram}) {
+    sram::CellTestbench scalar_tb(kind, pp, opts);
+    std::vector<double> ref;
+    for (const auto& [mode, data] : corners) {
+      ref.push_back(scalar_tb.static_power(mode, data));
+    }
+
+    std::vector<std::unique_ptr<sram::CellTestbench>> clones;
+    std::vector<sram::CellTestbench*> tbs;
+    for (std::size_t i = 0; i < corners.size(); ++i) {
+      clones.push_back(std::make_unique<sram::CellTestbench>(kind, pp, opts));
+      tbs.push_back(clones.back().get());
+    }
+    const auto lanes = sram::CellTestbench::static_power_lanes(tbs, corners);
+    ASSERT_EQ(lanes.size(), corners.size());
+    for (std::size_t i = 0; i < corners.size(); ++i) {
+      EXPECT_EQ(ref[i], lanes[i])
+          << (kind == sram::CellKind::k6T ? "6T" : "NV") << " corner " << i;
+    }
+  }
+}
+
+// ---- lanes entering the recovery ladder mid-batch --------------------------
+
+// Mixed batch: even lanes get the testbench's analytic warm start, odd lanes
+// start from zeros with a plain-Newton iteration cap low enough that they
+// fail the lockstep attempt and must run the scalar recovery ladder.  Each
+// lane must still equal its scalar counterpart (same guess, same options)
+// exactly — peeling is invisible in the results.
+TEST(BatchedNewtonDifferential, RecoveryLadderLanesMatchScalarMidBatch) {
+  const auto pp = models::PaperParams::table1();
+  const sram::TestbenchOptions opts{.ideal_bitlines = true};
+  constexpr std::size_t kLanes = 4;
+
+  spice::DCOptions dopt;
+  dopt.newton.max_iterations = 6;  // plain Newton fails from zeros -> ladder
+
+  // Build lanes and per-lane scalar references on separate clones.
+  std::vector<std::unique_ptr<sram::CellTestbench>> lane_tbs, ref_tbs;
+  std::vector<spice::Circuit*> circuits;
+  std::vector<linalg::Vector> guesses;
+  std::vector<const linalg::Vector*> guess_ptrs;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    lane_tbs.push_back(
+        std::make_unique<sram::CellTestbench>(sram::CellKind::kNvSram, pp, opts));
+    ref_tbs.push_back(
+        std::make_unique<sram::CellTestbench>(sram::CellKind::kNvSram, pp, opts));
+    circuits.push_back(&lane_tbs.back()->circuit());
+  }
+  // Warm guesses for the even lanes come from solve_dc on a scratch clone
+  // (solve_dc applies the bias and MTJ states, then solves — its solution is
+  // a converged iterate, so plain Newton accepts it immediately).
+  sram::CellTestbench scratch(sram::CellKind::kNvSram, pp, opts);
+  const auto warm = scratch.solve_dc(scratch.bias_normal(), true);
+  ASSERT_TRUE(warm.has_value());
+  guesses.resize(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    if (l % 2 == 0) {
+      guesses[l] = warm->raw();
+      guess_ptrs.push_back(&guesses[l]);
+    } else {
+      guess_ptrs.push_back(nullptr);  // zeros -> ladder under the tight cap
+    }
+  }
+  // Bias every clone identically to the warm solve (bias_normal, data=true)
+  // so the lanes and references describe the same operating point.
+  auto bias_all = [&](std::vector<std::unique_ptr<sram::CellTestbench>>& v) {
+    for (auto& tb : v) {
+      // solve_dc with a huge iteration budget just to apply bias would also
+      // solve; instead reuse the public path: static_power applies
+      // bias_normal internally, but we need the bias *without* solving.
+      // solve_dc is the only public bias application, so call it with the
+      // warm guess (converges in one step) and discard the solution.
+      const auto s = tb->solve_dc(tb->bias_normal(), true, std::nullopt,
+                                  std::nullopt);
+      ASSERT_TRUE(s.has_value());
+    }
+  };
+  bias_all(lane_tbs);
+  bias_all(ref_tbs);
+
+  const auto lanes = spice::solve_dc_lanes(circuits, dopt, &guess_ptrs);
+  ASSERT_EQ(lanes.size(), kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    spice::DCAnalysis ref_dc(ref_tbs[l]->circuit(), dopt);
+    const auto ref = ref_dc.solve(guess_ptrs[l]);
+    ASSERT_EQ(ref.has_value(), lanes[l].has_value()) << "lane " << l;
+    if (ref.has_value()) {
+      expect_same_vector(ref->raw(), lanes[l]->raw(),
+                         "lane " + std::to_string(l));
+    }
+  }
+}
+
+// The ladder actually engages under the tight iteration cap: drive the
+// BatchedNewton driver directly with a cold lane and assert its peel
+// telemetry moved, so the test above cannot silently degrade into an
+// all-lockstep run.
+TEST(BatchedNewtonDifferential, ColdLanePeelsToScalarLadder) {
+  const auto pp = models::PaperParams::table1();
+  const sram::TestbenchOptions opts{.ideal_bitlines = true};
+  constexpr std::size_t kLanes = 2;
+
+  std::vector<std::unique_ptr<sram::CellTestbench>> tbs;
+  std::vector<spice::Circuit*> circuits;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    tbs.push_back(
+        std::make_unique<sram::CellTestbench>(sram::CellKind::kNvSram, pp, opts));
+    const auto s = tbs.back()->solve_dc(tbs.back()->bias_normal(), true);
+    ASSERT_TRUE(s.has_value());
+    circuits.push_back(&tbs.back()->circuit());
+  }
+  std::vector<spice::MnaLayout> layouts;
+  std::vector<const spice::MnaLayout*> layout_ptrs;
+  for (auto* c : circuits) layouts.push_back(c->build_layout());
+  for (auto& l : layouts) layout_ptrs.push_back(&l);
+
+  spice::NewtonOptions nopts;
+  nopts.max_iterations = 6;
+  spice::RecoveryOptions recovery;
+
+  // Lane 0 warm (a solved operating point), lane 1 cold (zeros).
+  sram::CellTestbench scratch(sram::CellKind::kNvSram, pp, opts);
+  const auto warm = scratch.solve_dc(scratch.bias_normal(), true);
+  ASSERT_TRUE(warm.has_value());
+  std::vector<linalg::Vector> xs(kLanes);
+  xs[0] = warm->raw();
+  xs[1].assign(layouts[1].unknown_count(), 0.0);
+  std::vector<linalg::Vector*> x_ptrs = {&xs[0], &xs[1]};
+
+  spice::BatchedNewton driver(circuits, layout_ptrs);
+  const auto results =
+      driver.solve_with_recovery(x_ptrs, 0.0, 0.0, /*dc=*/true,
+                                 spice::IntegrationMethod::kBackwardEuler,
+                                 nopts, recovery);
+  ASSERT_EQ(results.size(), kLanes);
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_TRUE(results[1].converged);
+  // The cold lane cannot finish inside 6 plain iterations from zeros; it
+  // must have left lockstep (peeled mid-solve or rerun through the ladder).
+  EXPECT_GT(driver.lane_iterations(), 0u);
+  EXPECT_TRUE(driver.peel_count() > 0 || results[1].diagnostics.describe() !=
+                                             results[0].diagnostics.describe())
+      << "cold lane appears to have converged in lockstep; tighten the cap";
+}
+
+// ---- full characterization under the batch knob ----------------------------
+
+// characterize() reads NVSRAM_SWEEP_BATCH and batches its static-power
+// corners when > 1.  Every CellEnergetics field must be bit-identical to the
+// sequential run — this is the cell-level statement of the sweep-runner
+// byte-identity guarantee, across both cell kinds (and thereby every
+// architecture schedule that characterize() drives).
+TEST(BatchedNewtonDifferential, CharacterizationIdenticalUnderBatchEnv) {
+  const auto pp = models::PaperParams::table1();
+  for (auto kind : {sram::CellKind::k6T, sram::CellKind::kNvSram}) {
+    ::unsetenv("NVSRAM_SWEEP_BATCH");
+    const auto ref = sram::CellCharacterizer(pp).characterize(kind);
+    ::setenv("NVSRAM_SWEEP_BATCH", "4", 1);
+    const auto got = sram::CellCharacterizer(pp).characterize(kind);
+    ::unsetenv("NVSRAM_SWEEP_BATCH");
+
+    EXPECT_EQ(ref.t_clk, got.t_clk);
+    EXPECT_EQ(ref.e_read, got.e_read);
+    EXPECT_EQ(ref.e_write, got.e_write);
+    EXPECT_EQ(ref.p_static_normal, got.p_static_normal);
+    EXPECT_EQ(ref.p_static_sleep, got.p_static_sleep);
+    EXPECT_EQ(ref.p_static_shutdown, got.p_static_shutdown);
+    EXPECT_EQ(ref.e_store, got.e_store);
+    EXPECT_EQ(ref.t_store, got.t_store);
+    EXPECT_EQ(ref.e_restore, got.e_restore);
+    EXPECT_EQ(ref.t_restore, got.t_restore);
+    EXPECT_EQ(ref.e_sleep_transition, got.e_sleep_transition);
+    EXPECT_EQ(ref.store_verified, got.store_verified);
+    EXPECT_EQ(ref.restore_verified, got.restore_verified);
+    EXPECT_EQ(ref.gmin_recoveries, got.gmin_recoveries);
+    EXPECT_EQ(ref.source_recoveries, got.source_recoveries);
+  }
+}
+
+// ---- array-scale lanes on the sparse path ----------------------------------
+
+// A fig7-shaped batch: per-lane VDD trims on a 4x8 array domain (~200 MNA
+// unknowns, well above kDenseCutoff, so the lanes exercise the interleaved
+// sparse refactor/solve).  Each lane must equal DCAnalysis on its own clone.
+TEST(BatchedNewtonDifferential, SparsePathArrayLanesMatchScalar) {
+  constexpr std::size_t kLanes = 4;
+  sram::ArrayOptions aopts;
+  aopts.rows = 4;
+  aopts.cols = 8;
+
+  std::vector<std::unique_ptr<sram::ArrayTestbench>> lane_tbs, ref_tbs;
+  std::vector<spice::Circuit*> circuits;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    auto pp = models::PaperParams::table1();
+    pp.vdd += 1e-3 * static_cast<double>(l);  // adjacent sweep points
+    lane_tbs.push_back(std::make_unique<sram::ArrayTestbench>(pp, aopts));
+    ref_tbs.push_back(std::make_unique<sram::ArrayTestbench>(pp, aopts));
+    circuits.push_back(&lane_tbs.back()->circuit());
+  }
+
+  const auto lanes = spice::solve_dc_lanes(circuits);
+  ASSERT_EQ(lanes.size(), kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    spice::DCAnalysis ref_dc(ref_tbs[l]->circuit());
+    const auto ref = ref_dc.solve();
+    ASSERT_EQ(ref.has_value(), lanes[l].has_value()) << "lane " << l;
+    if (ref.has_value()) {
+      ASSERT_GT(ref->raw().size(), std::size_t{160})
+          << "array domain unexpectedly small: dense path, not sparse";
+      expect_same_vector(ref->raw(), lanes[l]->raw(),
+                         "array lane " + std::to_string(l));
+    }
+  }
+}
+
+}  // namespace

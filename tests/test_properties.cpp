@@ -3,8 +3,11 @@
 // over a bias/geometry grid.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 #include <tuple>
+#include <vector>
 
 #include "core/energy_model.h"
 #include "models/finfet.h"
@@ -186,6 +189,180 @@ TEST_P(MtjDiameterGrid, ResistanceAndIcScaleWithArea) {
 
 INSTANTIATE_TEST_SUITE_P(Diameters, MtjDiameterGrid,
                          ::testing::Values(10e-9, 20e-9, 30e-9, 45e-9));
+
+// ---- device closures: scalar vs lane-batched entry points ------------------
+//
+// The batched stamping path (StampBatch in spice/device.h) reaches the
+// models through evaluate_many / current_many.  These properties run the
+// same seeded random bias samples through both entry points: the lane form
+// must be bit-identical to the scalar loop, and the physical invariants
+// (monotonicity, continuity under bias and parameter perturbation) must
+// hold along both.
+
+constexpr unsigned kSharedSeed = 0x5eed;  // one seed, both entry points
+
+std::vector<double> random_biases(std::size_t n, double lo, double hi) {
+  std::mt19937 rng(kSharedSeed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+class FinFetPolarity : public ::testing::TestWithParam<bool> {
+ protected:
+  models::FinFETParams params() const {
+    return GetParam() ? models::ptm20_pmos(2) : models::ptm20_nmos(2);
+  }
+};
+
+TEST_P(FinFetPolarity, EvaluateManyBitIdenticalToScalar) {
+  const models::FinFET fet(params());
+  const auto vgs = random_biases(256, -1.0, 1.0);
+  auto vds = random_biases(256, -1.0, 1.0);
+  std::reverse(vds.begin(), vds.end());  // decorrelate the two axes
+
+  std::vector<models::FinFETOutput> lanes(vgs.size());
+  fet.evaluate_many(vgs.data(), vds.data(), vgs.size(), lanes.data());
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    const auto ref = fet.evaluate(vgs[i], vds[i]);
+    EXPECT_EQ(ref.ids, lanes[i].ids) << "sample " << i;
+    EXPECT_EQ(ref.gm, lanes[i].gm) << "sample " << i;
+    EXPECT_EQ(ref.gds, lanes[i].gds) << "sample " << i;
+  }
+}
+
+TEST_P(FinFetPolarity, DrainCurrentMonotonicInGateOverdrive) {
+  const bool pmos = GetParam();
+  const models::FinFET fet(params());
+  // |Ids| must be nondecreasing in gate overdrive at fixed |Vds|; sample
+  // through the lane entry point so the invariant is checked on the exact
+  // values the batched stamper consumes.
+  for (double vds_mag : {0.05, 0.45, 0.9}) {
+    std::vector<double> vgs(181), vds(181);
+    for (std::size_t i = 0; i < vgs.size(); ++i) {
+      const double mag = static_cast<double>(i) * 0.005;  // 0 .. 0.9 V
+      vgs[i] = pmos ? -mag : mag;
+      vds[i] = pmos ? -vds_mag : vds_mag;
+    }
+    std::vector<models::FinFETOutput> out(vgs.size());
+    fet.evaluate_many(vgs.data(), vds.data(), vgs.size(), out.data());
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_GE(std::abs(out[i].ids), std::abs(out[i - 1].ids) * (1.0 - 1e-12))
+          << "vgs step " << i << " at |vds| = " << vds_mag;
+    }
+  }
+}
+
+TEST_P(FinFetPolarity, ContinuousUnderBiasPerturbation) {
+  const models::FinFET fet(params());
+  const auto vgs = random_biases(64, -0.9, 0.9);
+  auto vds = random_biases(64, -0.9, 0.9);
+  std::reverse(vds.begin(), vds.end());
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    const auto a = fet.evaluate(vgs[i], vds[i]);
+    const auto b = fet.evaluate(vgs[i] + h, vds[i]);
+    const auto c = fet.evaluate(vgs[i], vds[i] + h);
+    // A step of h along either axis moves Ids by at most the local slope
+    // times h (EKV is C-infinity; factor 10 absorbs curvature over h).
+    const double slope_bound =
+        10.0 * h * (std::abs(a.gm) + std::abs(a.gds)) + 1e-15;
+    EXPECT_LE(std::abs(b.ids - a.ids), slope_bound) << "vgs step, sample " << i;
+    EXPECT_LE(std::abs(c.ids - a.ids), slope_bound) << "vds step, sample " << i;
+  }
+}
+
+TEST_P(FinFetPolarity, ContinuousUnderParameterPerturbation) {
+  // A 1 nV threshold shift cannot move any current by more than a sliver:
+  // the model (and hence a lane whose parameters differ infinitesimally
+  // from its neighbors') responds continuously to its parameters.
+  auto p1 = params();
+  auto p2 = p1;
+  p2.vth0 += 1e-9;
+  const models::FinFET f1(p1), f2(p2);
+  const auto vgs = random_biases(64, -0.9, 0.9);
+  auto vds = random_biases(64, -0.9, 0.9);
+  std::reverse(vds.begin(), vds.end());
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    const auto a = f1.evaluate(vgs[i], vds[i]);
+    const auto b = f2.evaluate(vgs[i], vds[i]);
+    EXPECT_LE(std::abs(b.ids - a.ids),
+              1e-6 * std::abs(a.ids) + 10.0 * std::abs(a.gm) * 1e-9 + 1e-18)
+        << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Polarities, FinFetPolarity, ::testing::Bool());
+
+class MtjStateGrid : public ::testing::TestWithParam<models::MtjState> {};
+
+TEST_P(MtjStateGrid, CurrentManyBitIdenticalToScalar) {
+  const models::MTJ mtj(models::paper_mtj());
+  const auto volts = random_biases(256, -0.6, 0.6);
+  std::vector<models::MTJ::IV> lanes(volts.size());
+  mtj.current_many(GetParam(), volts.data(), volts.size(), lanes.data());
+  for (std::size_t i = 0; i < volts.size(); ++i) {
+    const auto ref = mtj.current(GetParam(), volts[i]);
+    EXPECT_EQ(ref.current, lanes[i].current) << "sample " << i;
+    EXPECT_EQ(ref.conductance, lanes[i].conductance) << "sample " << i;
+  }
+}
+
+TEST_P(MtjStateGrid, CurrentMonotonicOddAndPositiveConductance) {
+  const models::MTJ mtj(models::paper_mtj());
+  std::vector<double> volts(241);
+  for (std::size_t i = 0; i < volts.size(); ++i) {
+    volts[i] = -0.6 + 0.005 * static_cast<double>(i);
+  }
+  std::vector<models::MTJ::IV> out(volts.size());
+  mtj.current_many(GetParam(), volts.data(), volts.size(), out.data());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i].conductance, 0.0) << "v = " << volts[i];
+    if (volts[i] != 0.0) {
+      EXPECT_EQ(std::signbit(out[i].current), std::signbit(volts[i]))
+          << "v = " << volts[i];
+    }
+    if (i > 0) {
+      EXPECT_GT(out[i].current, out[i - 1].current)
+          << "I(V) not strictly increasing at v = " << volts[i];
+    }
+  }
+}
+
+TEST_P(MtjStateGrid, ContinuousUnderBiasAndTmrPerturbation) {
+  auto p1 = models::paper_mtj();
+  auto p2 = p1;
+  p2.tmr0 += 1e-9;
+  const models::MTJ m1(p1), m2(p2);
+  const auto volts = random_biases(64, -0.6, 0.6);
+  const double h = 1e-7;
+  for (double v : volts) {
+    const auto a = m1.current(GetParam(), v);
+    const auto b = m1.current(GetParam(), v + h);
+    EXPECT_LE(std::abs(b.current - a.current),
+              10.0 * h * a.conductance + 1e-15)
+        << "bias step at v = " << v;
+    const auto c = m2.current(GetParam(), v);
+    EXPECT_LE(std::abs(c.current - a.current),
+              1e-6 * std::abs(a.current) + 1e-15)
+        << "tmr0 perturbation at v = " << v;
+  }
+}
+
+TEST(MtjStates, ParallelConductsMoreThanAntiparallel) {
+  const models::MTJ mtj(models::paper_mtj());
+  for (double v : random_biases(64, -0.6, 0.6)) {
+    if (v == 0.0) continue;
+    const auto p = mtj.current(models::MtjState::kParallel, v);
+    const auto ap = mtj.current(models::MtjState::kAntiparallel, v);
+    EXPECT_GE(std::abs(p.current), std::abs(ap.current)) << "v = " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(States, MtjStateGrid,
+                         ::testing::Values(models::MtjState::kParallel,
+                                           models::MtjState::kAntiparallel));
 
 }  // namespace
 }  // namespace nvsram
