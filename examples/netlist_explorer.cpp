@@ -62,8 +62,14 @@ void delay_chain_demo() {
   ckt.add<spice::VSource>("Vin", n_in, spice::kGround,
                           SourceSpec::pwl({{0.2e-9, 0.0}, {0.22e-9, 0.9}}));
   for (int i = 0; i < 3; ++i) {
-    const auto a = ckt.node("s" + std::to_string(i));
-    const auto b = ckt.node("s" + std::to_string(i + 1));
+    // Built with += rather than operator+: GCC 12 at -O3 flags the inlined
+    // "literal + to_string" concat with a spurious -Wrestrict (PR105651).
+    std::string a_name = "s";
+    a_name += std::to_string(i);
+    std::string b_name = "s";
+    b_name += std::to_string(i + 1);
+    const auto a = ckt.node(a_name);
+    const auto b = ckt.node(b_name);
     spice::add_finfet(ckt, "pu" + std::to_string(i), b, a, n_vdd, pp.pmos(1));
     spice::add_finfet(ckt, "pd" + std::to_string(i), b, a, spice::kGround,
                       pp.nmos(1));

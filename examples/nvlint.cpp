@@ -8,6 +8,8 @@
 // Options:
 //   --rules          print the rule catalog (id, default severity, summary)
 //   --list-rules     tabular catalog: rule id, family, default severity
+//   --explain=<id>   one-paragraph explanation of a rule, with the minimal
+//                    triggering example and its seeded fixture
 //   --disable=<id>   disable a rule (repeatable)
 //   --werror         exit nonzero on warnings as well as errors
 //   --werror=<glob>  promote warnings whose rule id matches the glob to
@@ -40,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/dataflow/check.h"
 #include "lint/linter.h"
 #include "lint/power/check.h"
 #include "lint/temporal/protocol.h"
@@ -68,6 +71,27 @@ void print_rule_list() {
               << std::setw(12) << rule.family << to_string(rule.severity)
               << "\n";
   }
+}
+
+// --explain=<rule-id>: the catalog's one-paragraph description plus the
+// minimal triggering example and the seeded fixture that locks the rule.
+int print_explain(const std::string& id) {
+  const nvsram::lint::RuleInfo* rule = nvsram::lint::find_rule(id);
+  if (rule == nullptr) {
+    std::cerr << "nvlint: unknown rule id '" << id << "' (see --rules)\n";
+    return 2;
+  }
+  std::cout << rule->id << " (family " << rule->family << ", default "
+            << to_string(rule->severity) << ")\n\n  " << rule->summary
+            << "\n\n" << rule->description << "\n";
+  if (rule->example[0] != '\0') {
+    std::cout << "\nExample:\n" << rule->example;
+  }
+  if (rule->fixture[0] != '\0') {
+    std::cout << "\nSeeded fixture: tests/netlists_bad/" << rule->fixture
+              << "\n";
+  }
+  return 0;
 }
 
 // '*'-wildcard match (no character classes; enough for rule-family globs
@@ -294,6 +318,12 @@ FileResult lint_bench(nvsram::sram::BenchArch arch,
   // switch, so the schedule's per-domain gating is checked exactly like a
   // netlist's (word-line-in-off-window, sneak paths, isolation).
   add(lint::power::check_power(tb->circuit(), tl, nullptr, {}));
+  // Retention dataflow pass: proves the bench schedule never gates off a
+  // generation the MTJs do not hold, never restores stale data, and wastes
+  // no store pulse (the data-* family).
+  add(lint::dataflow::check_dataflow(tl, lint::dataflow::DataflowOptions::
+                                         from_paper(pp),
+                                     &tb->circuit(), nullptr));
 
   return report_diagnostics(path, report, werror_globs, quiet, format, sarif,
                             first_file);
@@ -374,7 +404,8 @@ int main(int argc, char** argv) {
   std::vector<SarifResult> sarif;
 
   const char* usage =
-      "usage: nvlint [--rules] [--list-rules] [--disable=<id>] [--werror] "
+      "usage: nvlint [--rules] [--list-rules] [--explain=<id>] "
+      "[--disable=<id>] [--werror] "
       "[--werror=<glob>] [--bench=<nvpg|nof|osr|all>] [--format=json|sarif] "
       "[-q] <netlist.cir>...\n";
 
@@ -386,6 +417,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-rules") {
       print_rule_list();
       return 0;
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      return print_explain(arg.substr(10));
     } else if (arg.rfind("--disable=", 0) == 0) {
       const std::string id = arg.substr(10);
       const auto& catalog = nvsram::lint::rule_catalog();

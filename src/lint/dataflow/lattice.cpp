@@ -1,0 +1,50 @@
+#include "lint/dataflow/lattice.h"
+
+#include <algorithm>
+
+namespace nvsram::lint::dataflow {
+
+const char* to_string(DataState s) {
+  switch (s) {
+    case DataState::kUnknown: return "UNKNOWN";
+    case DataState::kVolatileDirty: return "VOLATILE_DIRTY";
+    case DataState::kStoredClean: return "STORED_CLEAN";
+    case DataState::kStoredStale: return "STORED_STALE";
+    case DataState::kLost: return "LOST";
+    case DataState::kRestored: return "RESTORED";
+  }
+  return "?";
+}
+
+namespace {
+
+// Partial order rank: higher rank = less information / worse outcome.  Used
+// only to pick the conservative side when two paths disagree.
+int rank(DataState s) {
+  switch (s) {
+    case DataState::kStoredClean: return 0;
+    case DataState::kRestored: return 1;
+    case DataState::kUnknown: return 2;
+    case DataState::kVolatileDirty: return 3;
+    case DataState::kStoredStale: return 4;
+    case DataState::kLost: return 5;
+  }
+  return 5;
+}
+
+}  // namespace
+
+CellState join(const CellState& a, const CellState& b) {
+  if (a == b) return a;
+  CellState out;
+  out.state = rank(a.state) >= rank(b.state) ? a.state : b.state;
+  // Generations merge conservatively: the latch may hold either, so keep
+  // the newer possibility; the NV contents are only known when both paths
+  // agree.
+  out.latch_gen = std::max(a.latch_gen, b.latch_gen);
+  out.nv_gen = a.nv_gen == b.nv_gen ? a.nv_gen : -1;
+  out.lost_gen = std::max(a.lost_gen, b.lost_gen);
+  return out;
+}
+
+}  // namespace nvsram::lint::dataflow

@@ -1,0 +1,65 @@
+// Per-cell data-state lattice for the retention dataflow pass.
+//
+// The abstract state tracks where the cell's bit lives, not what it is:
+// a generation counter advances on every write, the volatile latch and the
+// MTJ pair each hold one generation, and the lattice point says how the two
+// relate:
+//
+//            UNKNOWN                (power-up contents, nothing written)
+//               |  write
+//               v
+//         VOLATILE_DIRTY            (latch ahead of the MTJs)
+//           |  store        .
+//           v                . gate-off
+//     STORED_CLEAN            v
+//      (latch == NV)         LOST   (latch destroyed; NV may be stale)
+//           |  write           |  restore
+//           v                  v
+//     (VOLATILE_DIRTY)    RESTORED / STORED_STALE
+//                          (latch re-latched from NV; STALE when the NV
+//                           generation is older than what was lost)
+//
+// Transfer functions over classified schedule events live in check.cpp; the
+// join makes the per-cell state a proper (finite) lattice so the fixpoint
+// over the power-intent off-windows is well defined.
+#pragma once
+
+namespace nvsram::lint::dataflow {
+
+enum class DataState {
+  kUnknown,        // nothing written yet: latch holds power-up contents
+  kVolatileDirty,  // latch generation ahead of the MTJ generation
+  kStoredClean,    // latch and MTJs hold the same generation
+  kStoredStale,    // latch re-latched from MTJs older than what was lost
+  kLost,           // rail collapsed with the latch generation unsaved
+  kRestored,       // latch re-latched from MTJs holding the lost generation
+};
+
+const char* to_string(DataState s);
+
+// Abstract per-cell state: lattice point plus the generation bookkeeping
+// the transfer functions key on.
+struct CellState {
+  DataState state = DataState::kUnknown;
+  // Generation the volatile latch holds; 0 = power-up contents.  Advances
+  // on every write event.
+  int latch_gen = 0;
+  // Generation the MTJ pair holds; -1 = never stored (factory state).
+  int nv_gen = -1;
+  // Generation the latch held when it was last destroyed by a gate-off
+  // (meaningful while state is kLost / after a restore).
+  int lost_gen = -1;
+
+  bool nv_known() const { return nv_gen >= 0; }
+
+  bool operator==(const CellState&) const = default;
+};
+
+// Lattice join (least upper bound) for merging control paths: conflicting
+// components degrade toward the conservative top (kLost with unknown NV),
+// matching components pass through.  The event sequence of one schedule is
+// totally ordered, so the fixpoint below converges in a single pass; the
+// join keeps the analysis sound if branching schedules ever appear.
+CellState join(const CellState& a, const CellState& b);
+
+}  // namespace nvsram::lint::dataflow

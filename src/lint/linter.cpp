@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "lint/dataflow/check.h"
 #include "lint/graph.h"
 #include "lint/power/check.h"
 #include "lint/temporal/protocol.h"
@@ -406,9 +407,24 @@ class Linter {
   // through the shared enable/severity options.
   void check_temporal() {
     const temporal::Timeline timeline = temporal::extract_timeline(*netlist_);
-    add_filtered(temporal::check_timeline(timeline, temporal::TemporalOptions{}));
+    temporal::TemporalOptions topt;
+    if (const auto& arch = netlist_->arch_annotation()) {
+      // Validated at parse time; unknown values never reach the linter.
+      if (auto a = temporal::arch_from_string(*arch)) topt.arch = *a;
+    }
+    add_filtered(temporal::check_timeline(timeline, topt));
     add_filtered(temporal::check_netlist_units(*netlist_));
     check_power(timeline);
+    check_dataflow(timeline);
+  }
+
+  // ---- data-*: retention-state dataflow over the schedule ----------------
+  // Abstract interpretation of the per-cell latch/MTJ generation state
+  // (lint/dataflow/) against the off windows the power pass derives.
+  void check_dataflow(const temporal::Timeline& timeline) {
+    dataflow::DataflowOptions options;
+    add_filtered(
+        dataflow::check_dataflow(timeline, options, &circuit_, netlist_));
   }
 
   // ---- power-*: domain extraction + off-window abstract interpretation ----

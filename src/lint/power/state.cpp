@@ -38,8 +38,14 @@ const SignalTimeline* find_signal(const Timeline& tl, const std::string& name) {
 }  // namespace
 
 bool DomainSchedule::off_at(double t) const {
+  // Half-open containment, matching the Window convention and the interval
+  // algebra below: at t1 the recovery ramp has completed, so the rail is up
+  // again.  A closed upper bound here would disagree with
+  // windows_subtract/windows_union at shared boundaries — an event placed
+  // exactly at a recovery edge (adjacent windows [a,b) [b,c)) must belong
+  // to the later window only.
   for (const Window& w : off) {
-    if (t >= w.t0 && t <= w.t1) return true;
+    if (t >= w.t0 && t < w.t1) return true;
   }
   return false;
 }

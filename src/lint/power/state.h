@@ -27,6 +27,9 @@ struct StateOptions {
 struct DomainSchedule {
   int domain = -1;
   // Maximal windows with the rail collapsed, time-sorted and disjoint.
+  // Half-open [t0, t1): by t1 the recovery has completed.  off_at() and the
+  // windows_* algebra below share this convention, so adjacent windows
+  // [a,b) [b,c) never double-count b and an empty gap never survives.
   std::vector<temporal::Window> off;
   // Gate-signal ramps crossing the threshold (rail collapse / recovery).
   std::vector<temporal::Window> transitions;

@@ -2,10 +2,15 @@
 //
 // Every check the linter performs has a stable string id listed here, with
 // its default severity and a one-line summary (`nvlint --rules` and
-// docs/LINT.md render this table).  Tests that intentionally build degenerate
-// circuits opt out per rule through LintOptions::disable().
+// docs/LINT.md render this table).  Each entry also carries the one-paragraph
+// explanation and minimal triggering example behind `nvlint --explain=<id>`,
+// plus the name of its seeded negative fixture under tests/netlists_bad/
+// (the meta-lint test holds the catalog, the fixtures, and docs/LINT.md in
+// sync).  Tests that intentionally build degenerate circuits opt out per
+// rule through LintOptions::disable().
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -55,6 +60,14 @@ inline constexpr const char* kPowerMissingIsolation = "power-missing-isolation";
 inline constexpr const char* kPowerDomainFloating = "power-domain-floating";
 inline constexpr const char* kPowerSharedRailConflict =
     "power-shared-rail-conflict";
+// Retention-data dataflow analysis (lint/dataflow/): abstract interpretation
+// of the per-cell data state (latch vs MTJ contents) across the schedule's
+// write / store / gate-off / restore / read events.
+inline constexpr const char* kDataLostInOffWindow = "data-lost-in-off-window";
+inline constexpr const char* kDataStaleRestore = "data-stale-restore";
+inline constexpr const char* kDataReadBeforeRestore = "data-read-before-restore";
+inline constexpr const char* kDataRedundantStore = "data-redundant-store";
+inline constexpr const char* kDataStoreTruncated = "data-store-truncated";
 // Dimensional / range analysis over parameters and parsed netlist values.
 inline constexpr const char* kUnitsCurrentDensity = "units-current-density";
 inline constexpr const char* kUnitsTimeScale = "units-time-scale";
@@ -64,13 +77,26 @@ inline constexpr const char* kUnitsDimension = "units-dimension";
 
 struct RuleInfo {
   const char* id;
-  const char* family;  // "topology", "params", ..., "protocol", "units"
+  const char* family;  // "topology", "params", ..., "protocol", "data"
   Severity severity;
   const char* summary;
+  // One-paragraph explanation (`nvlint --explain=<id>`): what the rule
+  // proves and why a violation matters.
+  const char* description;
+  // Minimal triggering example (netlist snippet, or an API note for rules
+  // that only programmatic post-editing can reach).
+  const char* example;
+  // Seeded negative fixture under tests/netlists_bad/ that fires this rule;
+  // "" for rules unreachable from netlist text (the meta-lint test pins the
+  // exact allowlist of those).
+  const char* fixture;
 };
 
 // All known rules, in documentation order.
 const std::vector<RuleInfo>& rule_catalog();
+
+// Catalog entry for a rule id; nullptr for unknown ids.
+const RuleInfo* find_rule(const std::string& rule_id);
 
 // Default severity for a rule id; kError for unknown ids (conservative).
 Severity default_severity(const std::string& rule_id);
@@ -92,6 +118,11 @@ struct LintOptions {
   bool enabled(const std::string& rule_id) const {
     return disabled.find(rule_id) == disabled.end();
   }
+
+  // Stable hash over everything that changes a lint verdict (disabled set,
+  // severity floor).  Keys the lint-result cache together with the netlist
+  // content hash (see lint/lint_cache.h).
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace nvsram::lint

@@ -1,6 +1,7 @@
 #include "lint/temporal/protocol.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <sstream>
 
@@ -453,6 +454,19 @@ std::uint64_t TemporalOptions::fingerprint() const {
     h = fnv1a(h, &v, sizeof(v));
   }
   return h;
+}
+
+std::optional<TemporalOptions::Arch> arch_from_string(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "nvpg") return TemporalOptions::Arch::kNVPG;
+  if (lower == "nof") return TemporalOptions::Arch::kNOF;
+  if (lower == "osr") return TemporalOptions::Arch::kOSR;
+  return std::nullopt;
 }
 
 std::vector<Diagnostic> check_timeline(const Timeline& timeline,

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "lint/diagnostic.h"
@@ -65,5 +67,10 @@ struct TemporalOptions {
 // timeline came from a testbench schedule.
 std::vector<Diagnostic> check_timeline(const Timeline& timeline,
                                        const TemporalOptions& options);
+
+// Parses a `.arch` card value ("nvpg" / "nof" / "osr", case-insensitive)
+// into the explicit architecture; nullopt for anything else.  kAuto is not
+// spellable — omitting the card means auto-inference.
+std::optional<TemporalOptions::Arch> arch_from_string(const std::string& s);
 
 }  // namespace nvsram::lint::temporal

@@ -55,9 +55,13 @@ void stamp_finfet_lanes(FinFETElement* const* fets, StampBatch& batch) {
   const NodeId gate = fets[0]->gate();
   const NodeId source = fets[0]->source();
 
-  double vg[kMaxBatchLanes], vd[kMaxBatchLanes], vs[kMaxBatchLanes];
-  double vgs[kMaxBatchLanes], vds[kMaxBatchLanes];
-  models::FinFETOutput out[kMaxBatchLanes];
+  // Zero-initialized: the compiler cannot see that gather/evaluate only
+  // touch the first lane_count() lanes, and -Wmaybe-uninitialized fires at
+  // high optimization levels otherwise.
+  double vg[kMaxBatchLanes] = {}, vd[kMaxBatchLanes] = {},
+         vs[kMaxBatchLanes] = {};
+  double vgs[kMaxBatchLanes] = {}, vds[kMaxBatchLanes] = {};
+  models::FinFETOutput out[kMaxBatchLanes] = {};
 
   batch.gather_node_voltage(gate, vg);
   batch.gather_node_voltage(drain, vd);

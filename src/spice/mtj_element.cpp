@@ -32,8 +32,12 @@ void stamp_mtj_lanes(MTJElement* const* mtjs, StampBatch& batch) {
   const NodeId pinned = mtjs[0]->pinned_node();
   const NodeId free = mtjs[0]->free_node();
 
-  double vp[kMaxBatchLanes], vf[kMaxBatchLanes], v[kMaxBatchLanes];
-  models::MTJ::IV iv[kMaxBatchLanes];
+  // Zero-initialized: the compiler cannot see that gather/current_many only
+  // touch the first lane_count() lanes, and -Wmaybe-uninitialized fires at
+  // high optimization levels otherwise.
+  double vp[kMaxBatchLanes] = {}, vf[kMaxBatchLanes] = {},
+         v[kMaxBatchLanes] = {};
+  models::MTJ::IV iv[kMaxBatchLanes] = {};
 
   batch.gather_node_voltage(pinned, vp);
   batch.gather_node_voltage(free, vf);

@@ -20,6 +20,7 @@
 //   .probe v(<node>) | i(<device>) | p(<vsource>) | e(<vsource>)
 //   .role <source> <role>                     (protocol role annotation)
 //   .domain <node> <name> [gated|always-on]   (power-intent annotation)
+//   .arch nvpg|nof|osr                        (power-gating architecture)
 //   .end
 //
 // Numbers accept engineering suffixes: f p n u m k meg g t (e.g. "4f",
@@ -29,6 +30,7 @@
 // the requested analyses (`run_*`), returning Waveforms.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -77,7 +79,13 @@ struct AcCard {
 
 class ParsedNetlist {
  public:
-  Circuit& circuit() { return circuit_; }
+  // The non-const accessor hands out mutable device state, so the cached
+  // lint verdict for the parsed text no longer applies: drop the content
+  // hash (see lint/lint_cache.h) and re-lint from scratch on the next run_*.
+  Circuit& circuit() {
+    content_hash_ = 0;
+    return circuit_;
+  }
   const Circuit& circuit() const { return circuit_; }
 
   const std::string& title() const { return title_; }
@@ -129,11 +137,32 @@ class ParsedNetlist {
   // intent for a rail node; the power-* lint family checks the extracted
   // domain map against these declarations.
   void add_domain_annotation(lint::power::DomainAnnotation ann) {
+    content_hash_ = 0;
     domain_annotations_.push_back(std::move(ann));
   }
   const std::vector<lint::power::DomainAnnotation>& domain_annotations() const {
     return domain_annotations_;
   }
+
+  // ---- architecture annotation (.arch card) ----
+  // `.arch nvpg|nof|osr` pins the power-gating architecture the schedule
+  // implements; the temporal lint pass then checks the matching protocol
+  // instead of inferring it from signal roles.  Stored lowercase.
+  void set_arch_annotation(std::string arch) {
+    content_hash_ = 0;
+    arch_annotation_ = std::move(arch);
+  }
+  const std::optional<std::string>& arch_annotation() const {
+    return arch_annotation_;
+  }
+
+  // ---- lint-result cache key ----
+  // FNV-1a over the raw netlist text, set once by the parser; 0 = not
+  // cacheable.  Every mutation path (non-const circuit(), the builder
+  // methods below) resets it to 0 so a post-edited netlist is never served
+  // the stale cached report of its original text.
+  std::uint64_t content_hash() const { return content_hash_; }
+  void set_content_hash(std::uint64_t h) { content_hash_ = h; }
 
   // Diagnostics the parser itself produced (e.g. unused .subckt ports);
   // merged into every lint() report.
@@ -143,17 +172,39 @@ class ParsedNetlist {
   }
 
   // Builder methods (used by the parser; also handy for programmatic
-  // post-editing of a parsed netlist).
-  void set_title(std::string t) { title_ = std::move(t); }
-  void set_dc_card(DcSweepCard c) { dc_ = c; }
-  void set_tran_card(TranCard c) { tran_ = c; }
-  void set_ac_card(AcCard c) { ac_ = std::move(c); }
-  void add_probe(Probe p) { probes_.push_back(std::move(p)); }
+  // post-editing of a parsed netlist).  Each drops the content hash: the
+  // parser stamps it after the last builder call, so only post-parse edits
+  // actually lose cacheability.
+  void set_title(std::string t) {
+    content_hash_ = 0;
+    title_ = std::move(t);
+  }
+  void set_dc_card(DcSweepCard c) {
+    content_hash_ = 0;
+    dc_ = c;
+  }
+  void set_tran_card(TranCard c) {
+    content_hash_ = 0;
+    tran_ = c;
+  }
+  void set_ac_card(AcCard c) {
+    content_hash_ = 0;
+    ac_ = std::move(c);
+  }
+  void add_probe(Probe p) {
+    content_hash_ = 0;
+    probes_.push_back(std::move(p));
+  }
 
- private:
-  // Throws lint::LintError if lint_on_run_ and linting reports errors.
+  // The lint gate every run_* passes through: throws lint::LintError when
+  // lint_on_run() is set and linting reports errors.  Consults the
+  // process-wide lint-result cache (lint/lint_cache.h) keyed on
+  // content_hash() and the options fingerprint; a netlist mutated since
+  // parse (hash 0) always re-lints.  Public so callers can pay the gate
+  // once up front (and tests can exercise the cache directly).
   void ensure_lint_ok();
 
+ private:
   Circuit circuit_;
   std::string title_;
   std::vector<Probe> probes_;
@@ -164,9 +215,11 @@ class ParsedNetlist {
   std::unordered_map<std::string, int> node_lines_;
   std::unordered_map<std::string, std::string> role_annotations_;
   std::vector<lint::power::DomainAnnotation> domain_annotations_;
+  std::optional<std::string> arch_annotation_;
   std::vector<lint::Diagnostic> parse_diags_;
   lint::LintOptions lint_options_;
   bool lint_on_run_ = true;
+  std::uint64_t content_hash_ = 0;
 };
 
 class NetlistParser {

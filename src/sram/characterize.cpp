@@ -8,10 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include "lint/dataflow/check.h"
 #include "lint/power/check.h"
 #include "lint/report.h"
 #include "lint/temporal/protocol.h"
 #include "lint/temporal/units_check.h"
+#include "sram/characterize_cache.h"
 #include "util/breadcrumb.h"
 #include "util/units.h"
 #include "util/watchdog.h"
@@ -26,7 +28,8 @@ namespace {
 // energies that *look* valid — fail loudly instead, with zero solver time
 // spent.  Parameter dimension/range checks ride along so a unit-mismatched
 // PaperParams (e.g. J_C entered in A/cm^2) is rejected here too.
-void gate_schedule(const CellTestbench& tb, const models::PaperParams& pp) {
+void gate_schedule(const CellTestbench& tb, const models::PaperParams& pp,
+                   CellKind kind, int relax_attempt) {
   const auto opt = lint::temporal::TemporalOptions::from_paper(pp);
   const auto tl = tb.export_timeline();
   lint::LintReport report;
@@ -43,6 +46,19 @@ void gate_schedule(const CellTestbench& tb, const models::PaperParams& pp) {
   // the schedule against its off windows (word-line asserts into the
   // collapsed rail, sneak paths around the PS device).
   for (auto& d : lint::power::check_power(tb.circuit(), tl, nullptr, {})) {
+    report.add(std::move(d));
+  }
+  // Retention dataflow: prove no generation is lost, staled, or redundantly
+  // stored across the schedule.  The redundant-store advisory quantifies
+  // the waste from a *peeked* cache entry only — computing it here would
+  // recurse (characterize -> gate_schedule -> characterize).
+  lint::dataflow::DataflowOptions dopt =
+      lint::dataflow::DataflowOptions::from_paper(pp);
+  if (auto cached = characterize_cache_peek(pp, kind, relax_attempt)) {
+    dopt.store_energy_hint = cached->e_store;
+  }
+  for (auto& d :
+       lint::dataflow::check_dataflow(tl, dopt, &tb.circuit(), nullptr)) {
     report.add(std::move(d));
   }
   if (report.has_errors()) throw lint::LintError(std::move(report));
@@ -133,7 +149,7 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     tb.op_restore();
     tb.op_idle(2e-9);
   }
-  gate_schedule(tb, pp_);
+  gate_schedule(tb, pp_, kind, relax_attempt_);
   auto res = tb.run();
   out.gmin_recoveries += res.stats.gmin_recoveries;
   out.source_recoveries += res.stats.source_recoveries;
@@ -177,7 +193,7 @@ CellEnergetics CellCharacterizer::characterize(CellKind kind) const {
     tbs.op_idle(2e-9);
     tbs.op_sleep(60e-9);
     tbs.op_idle(2e-9);
-    gate_schedule(tbs, pp_);
+    gate_schedule(tbs, pp_, kind, relax_attempt_);
     auto rs = tbs.run();
     out.gmin_recoveries += rs.stats.gmin_recoveries;
     out.source_recoveries += rs.stats.source_recoveries;

@@ -84,6 +84,22 @@ CellEnergetics characterize_cached(const models::PaperParams& pp,
   return entry->value;
 }
 
+std::optional<CellEnergetics> characterize_cache_peek(
+    const models::PaperParams& pp, CellKind kind, int relax_attempt) {
+  const std::uint64_t key = cache_key(pp, kind, relax_attempt);
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.m);
+  auto it = c.map.find(key);
+  if (it == c.map.end()) return std::nullopt;
+  Entry* entry = it->second.get();
+  // try_to_lock: if the entry is mid-compute (possibly by this very thread,
+  // when the peek comes from the lint gate inside characterize()), report a
+  // miss instead of blocking or recursing.
+  std::unique_lock<std::mutex> el(entry->compute, std::try_to_lock);
+  if (!el.owns_lock() || !entry->ready) return std::nullopt;
+  return entry->value;
+}
+
 CharacterizeCacheStats characterize_cache_stats() {
   Cache& c = cache();
   std::lock_guard<std::mutex> lock(c.m);

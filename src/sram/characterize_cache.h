@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "sram/characterize.h"
 
@@ -35,6 +36,15 @@ CellEnergetics characterize_cached(const models::PaperParams& pp,
                                    CellKind kind,
                                    double max_wall_seconds = 0.0,
                                    int relax_attempt = 0);
+
+// Non-computing lookup: the cached energetics for this key if a previous
+// characterize_cached() call finished them, nullopt otherwise (including
+// while another thread is mid-compute).  Never solves anything, so it is
+// safe to call from inside the lint gate that characterize() itself runs —
+// the data-redundant-store advisory peeks here for its energy figure
+// without any recursion risk.
+std::optional<CellEnergetics> characterize_cache_peek(
+    const models::PaperParams& pp, CellKind kind, int relax_attempt = 0);
 
 struct CharacterizeCacheStats {
   std::size_t hits = 0;

@@ -7,7 +7,10 @@
 #include <set>
 #include <sstream>
 
+#include "lint/lint_cache.h"
 #include "lint/linter.h"
+#include "lint/report.h"
+#include "lint/rules.h"
 #include "spice/elements.h"
 #include "spice/netlist_parser.h"
 
@@ -471,6 +474,116 @@ TEST(LintRegression, AllShippedNetlistsLintClean) {
         << entry.path() << " has diagnostics:\n" << report.format();
   }
   EXPECT_GE(seen, 5u) << "netlists/ should ship at least the five seeds";
+}
+
+// ---- lint-result cache ------------------------------------------------------
+
+constexpr const char* kCleanDeck =
+    "divider\n"
+    "V1 in 0 DC 2\n"
+    "R1 in out 1k\n"
+    "R2 out 0 1k\n"
+    ".end\n";
+
+TEST(LintCache, ContentHashIsStampedAtParseAndStableAcrossReparses) {
+  auto a = parse(kCleanDeck);
+  auto b = parse(kCleanDeck);
+  EXPECT_NE(a->content_hash(), 0u) << "parse must stamp a cacheable hash";
+  EXPECT_EQ(a->content_hash(), b->content_hash());
+  auto c = parse(
+      "divider\n"
+      "V1 in 0 DC 2\n"
+      "R1 in out 2k\n"
+      "R2 out 0 1k\n"
+      ".end\n");
+  EXPECT_NE(c->content_hash(), a->content_hash());
+}
+
+TEST(LintCache, MutationMakesTheNetlistUncacheable) {
+  auto net = parse(kCleanDeck);
+  ASSERT_NE(net->content_hash(), 0u);
+  net->circuit();  // non-const access may edit anything
+  EXPECT_EQ(net->content_hash(), 0u);
+}
+
+TEST(LintCache, EnsureLintOkHitsOnIdenticalText) {
+  lint::lint_cache_clear();
+  auto a = parse(kCleanDeck);
+  a->ensure_lint_ok();
+  const auto after_first = lint::lint_cache_stats();
+  EXPECT_EQ(after_first.entries, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  // A fresh parse of the same text must reuse the verdict, not re-lint.
+  auto b = parse(kCleanDeck);
+  b->ensure_lint_ok();
+  const auto after_second = lint::lint_cache_stats();
+  EXPECT_EQ(after_second.entries, 1u);
+  EXPECT_EQ(after_second.hits, after_first.hits + 1);
+}
+
+TEST(LintCache, FailingVerdictsAreCachedToo) {
+  lint::lint_cache_clear();
+  const char* bad =
+      "bad diode\n"
+      "V1 a 0 DC 0.2\n"
+      "D1 a 0 is=-1e-15\n"
+      "R1 a 0 1k\n"
+      ".end\n";
+  auto a = parse(bad);
+  EXPECT_THROW(a->ensure_lint_ok(), lint::LintError);
+  auto b = parse(bad);
+  EXPECT_THROW(b->ensure_lint_ok(), lint::LintError);
+  const auto stats = lint::lint_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 1u) << "the second throw must come from the cache";
+}
+
+TEST(LintCache, OptionsFingerprintSeparatesCacheLines) {
+  lint::lint_cache_clear();
+  auto a = parse(kCleanDeck);
+  a->ensure_lint_ok();
+  auto b = parse(kCleanDeck);
+  b->lint_options().disabled.insert(lint::rules::kFloatNode);
+  b->ensure_lint_ok();
+  // Same text, different options: two distinct cache entries, no false hit.
+  const auto stats = lint::lint_cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(LintCache, FingerprintReflectsDisablesAndSeverityFloor) {
+  LintOptions base;
+  const std::uint64_t fp = base.fingerprint();
+  EXPECT_EQ(fp, LintOptions{}.fingerprint()) << "fingerprint is a pure value";
+
+  LintOptions disabled = base;
+  disabled.disabled.insert(lint::rules::kFloatNode);
+  EXPECT_NE(disabled.fingerprint(), fp);
+
+  // Insertion order of the disabled set must not matter.
+  LintOptions ab, ba;
+  ab.disabled.insert(lint::rules::kFloatNode);
+  ab.disabled.insert(lint::rules::kNoDcPath);
+  ba.disabled.insert(lint::rules::kNoDcPath);
+  ba.disabled.insert(lint::rules::kFloatNode);
+  EXPECT_EQ(ab.fingerprint(), ba.fingerprint());
+
+  LintOptions floor = base;
+  floor.min_severity = Severity::kError;
+  EXPECT_NE(floor.fingerprint(), fp);
+}
+
+TEST(LintCache, MutatedNetlistNeverConsultsTheCache) {
+  lint::lint_cache_clear();
+  auto a = parse(kCleanDeck);
+  a->ensure_lint_ok();
+  auto b = parse(kCleanDeck);
+  b->circuit();  // invalidate: hash 0 must bypass lookup and store
+  b->ensure_lint_ok();
+  const auto stats = lint::lint_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 }  // namespace

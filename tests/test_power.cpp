@@ -124,6 +124,43 @@ TEST(WindowAlgebra, EmptyOperands) {
   ASSERT_EQ(windows_subtract(a, {}).size(), 1u);
 }
 
+TEST(WindowAlgebra, AdjacentHalfOpenWindowsShareNoPoint) {
+  // Windows are half-open [t0, t1): [0,10) and [10,20) touch at t=10 but
+  // overlap nowhere, so their intersection is empty, their union is the
+  // single seam-free window [0,20), and subtracting one from the other is
+  // the identity.
+  const std::vector<Window> a = {{0.0, 10.0}};
+  const std::vector<Window> b = {{10.0, 20.0}};
+
+  EXPECT_TRUE(windows_intersect(a, b).empty());
+  EXPECT_TRUE(windows_intersect(b, a).empty());
+
+  const auto uni = windows_union(a, b);
+  ASSERT_EQ(uni.size(), 1u);
+  EXPECT_DOUBLE_EQ(uni[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(uni[0].t1, 20.0);
+
+  const auto sub = windows_subtract(a, b);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(sub[0].t1, 10.0);
+}
+
+TEST(WindowAlgebra, OffAtUsesHalfOpenBoundaries) {
+  // off_at must agree with the same convention: the instant of gate-off
+  // belongs to the off window, the instant recovery completes does not.
+  // An event exactly at a seam between adjacent windows is therefore
+  // counted exactly once.
+  DomainSchedule sched;
+  sched.off = {{10.0, 20.0}, {20.0, 30.0}};
+  EXPECT_FALSE(sched.off_at(9.999999));
+  EXPECT_TRUE(sched.off_at(10.0));   // collapse edge: off
+  EXPECT_TRUE(sched.off_at(20.0));   // seam: owned by the second window
+  EXPECT_TRUE(sched.off_at(29.999999));
+  EXPECT_FALSE(sched.off_at(30.0));  // recovery complete: on again
+  EXPECT_FALSE(sched.off_at(35.0));
+}
+
 // ---- domain extraction on the Fig. 2 cell -----------------------------------
 
 TEST(DomainExtraction, Fig2CellSplitsAtThePowerSwitch) {

@@ -111,9 +111,14 @@ TEST(NewtonRobustness, DeepDiodeStackConverges) {
   ckt.add<Resistor>("R1", prev, ckt.node("d0"), 100.0);
   prev = ckt.node("d0");
   for (int i = 0; i < 6; ++i) {
-    const NodeId next =
-        (i == 5) ? kGround : ckt.node("d" + std::to_string(i + 1));
-    ckt.add<Diode>("D" + std::to_string(i), prev, next);
+    // Built with += rather than operator+: GCC 12 at -O3 flags the inlined
+    // "literal + to_string" concat with a spurious -Wrestrict (PR105651).
+    std::string node_name = "d";
+    node_name += std::to_string(i + 1);
+    std::string diode_name = "D";
+    diode_name += std::to_string(i);
+    const NodeId next = (i == 5) ? kGround : ckt.node(node_name);
+    ckt.add<Diode>(diode_name, prev, next);
     prev = next;
   }
   DCAnalysis dc(ckt);

@@ -380,7 +380,6 @@ TEST(NewtonWorkspace, ResultsAreBitIdenticalWithAndWithoutWorkspace) {
 
 TEST(NewtonWorkspace, WarmResolveReusesTheSymbolicAnalysis) {
   auto tb = make_array_bench();
-  const spice::MnaLayout layout = tb.circuit().build_layout();
   spice::DCAnalysis dc(tb.circuit());
   const auto first = dc.solve();
   ASSERT_TRUE(first.has_value());
