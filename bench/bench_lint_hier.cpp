@@ -1,0 +1,48 @@
+// Hierarchical vs flat lint throughput (google-benchmark) on synthetic
+// N×N NV-SRAM arrays: one `.subckt nvcell` definition, N² instances, shared
+// PS rail.  The hierarchical engine analyzes the definition once and
+// composes per-instance summaries, so it should scale with the top-level
+// card count rather than the flattened device count (target: ≥10x over flat
+// at 64×64; CI smoke-gates ≥5x).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "lint/linter.h"
+#include "spice/netlist_parser.h"
+#include "support/array_gen.h"
+
+namespace {
+
+using namespace nvsram;
+
+std::unique_ptr<spice::ParsedNetlist> parse_array(int n) {
+  const std::string deck = testsupport::make_nvsram_array_netlist(n, n);
+  return spice::NetlistParser().parse(deck);
+}
+
+void BM_LintFlat(benchmark::State& state) {
+  auto nl = parse_array(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lint::LintReport report = lint::lint_netlist(*nl);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_LintFlat)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_LintHierarchical(benchmark::State& state) {
+  auto nl = parse_array(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lint::LintReport report = lint::lint_netlist_hier(*nl);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_LintHierarchical)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -11,6 +11,21 @@
 //   --explain=<id>   one-paragraph explanation of a rule, with the minimal
 //                    triggering example and its seeded fixture
 //   --disable=<id>   disable a rule (repeatable)
+//   --hier           lint through the hierarchical summary engine
+//                    (lint_netlist_hier): one analysis per .subckt
+//                    definition, composed per instance — verdict-identical
+//                    to the flat engine, orders of magnitude faster on
+//                    arrays.  When a certificate fails and the engine falls
+//                    back to flat analysis, text mode prints the reason as
+//                    a note and JSON carries "hier_fast_path": false.
+//   --baseline=<f>   suppress findings recorded in a baseline file (one
+//                    "file|rule|device|node" line each, instance-path
+//                    normalized) so legacy findings don't gate CI while new
+//                    ones still fail; suppressed findings drop out of the
+//                    counts and the exit status
+//   --write-baseline=<f>  write the baseline file for everything this
+//                    invocation found (complete, sorted; combine with
+//                    --baseline to start from the current state)
 //   --werror         exit nonzero on warnings as well as errors
 //   --werror=<glob>  promote warnings whose rule id matches the glob to
 //                    errors for exit-status purposes (repeatable; '*'
@@ -31,6 +46,12 @@
 //                    scanning.
 //   -q, --quiet      print only the per-file summary lines
 //
+// Findings replicated across .subckt instances (same rule on the same
+// definition-local device/node, per Diagnostic::dedup_key) are collapsed in
+// every output format into one finding carrying the instance count and up
+// to three exemplar instance paths; the error/warning totals and the exit
+// status still count every instance.
+//
 // Exit status: 0 clean, 1 lint errors (or warnings with --werror /
 // --werror=<glob> matches), 2 parse failure or unreadable file.
 #include <algorithm>
@@ -38,11 +59,14 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/dataflow/check.h"
+#include "lint/hier/hier_linter.h"
 #include "lint/linter.h"
 #include "lint/power/check.h"
 #include "lint/temporal/protocol.h"
@@ -125,11 +149,70 @@ struct FileResult {
 enum class Format { kText, kJson, kSarif };
 
 // SARIF needs every diagnostic of the invocation in one document, so the
-// sarif path collects (file, diagnostic) pairs instead of streaming.
+// sarif path collects (file, finding) tuples instead of streaming.
 struct SarifResult {
   std::string file;
   nvsram::lint::Diagnostic diag;
+  std::size_t instances = 0;           // 0: top-level (not replicated)
+  std::vector<std::string> exemplars;  // up to three instance paths
 };
+
+// One deduplicated finding: a representative diagnostic plus the instance
+// paths of every replica that collapsed into it (empty for top-level
+// findings).
+struct Finding {
+  const nvsram::lint::Diagnostic* rep = nullptr;
+  std::vector<std::string> paths;
+};
+
+// Collapses instance-replicated diagnostics into one finding each;
+// top-level diagnostics pass through untouched.  The group key is
+// Diagnostic::dedup_key plus the message with the instance prefix stripped,
+// so replicas of one definition-local finding merge across instances while
+// distinct findings on the same device/node (e.g. the undetermined-unknown
+// and unsolvable-equation halves of one structural defect) stay separate.
+std::vector<Finding> dedup_findings(
+    const std::vector<const nvsram::lint::Diagnostic*>& diags) {
+  std::vector<Finding> findings;
+  std::map<std::string, std::size_t> group_of;
+  for (const auto* d : diags) {
+    if (d->instance_path.empty()) {
+      findings.push_back({d, {}});
+      continue;
+    }
+    std::string prefix = d->instance_path + "/";
+    std::replace(prefix.begin(), prefix.end(), '/', '.');
+    std::string message = d->message;
+    for (std::size_t pos = 0;
+         (pos = message.find(prefix, pos)) != std::string::npos;) {
+      message.erase(pos, prefix.size());
+    }
+    auto [it, fresh] =
+        group_of.emplace(d->dedup_key() + "|" + message, findings.size());
+    if (fresh) findings.push_back({d, {}});
+    auto& paths = findings[it->second].paths;
+    if (std::find(paths.begin(), paths.end(), d->instance_path) ==
+        paths.end()) {
+      paths.push_back(d->instance_path);
+    }
+  }
+  return findings;
+}
+
+// "16 instances: X0_0, X0_1, X0_2 … and 13 more instances"
+std::string instance_note(const std::vector<std::string>& paths) {
+  std::ostringstream ss;
+  ss << paths.size() << " instances: ";
+  const std::size_t shown = std::min<std::size_t>(paths.size(), 3);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) ss << ", ";
+    ss << paths[i];
+  }
+  if (paths.size() > shown) {
+    ss << " … and " << paths.size() - shown << " more instances";
+  }
+  return ss.str();
+}
 
 // Minimal JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s) {
@@ -156,66 +239,122 @@ std::string json_escape(const std::string& s) {
 }
 
 void print_json_diagnostic(std::ostream& os, const std::string& path,
-                           const nvsram::lint::Diagnostic& d, bool first) {
+                           const Finding& f, bool first) {
+  const nvsram::lint::Diagnostic& d = *f.rep;
   if (!first) os << ",";
   os << "\n      {\"rule\": \"" << json_escape(d.rule) << "\", \"severity\": \""
      << to_string(d.severity) << "\", \"file\": \"" << json_escape(path)
      << "\", \"line\": " << d.line << ", \"message\": \""
      << json_escape(d.message) << "\", \"device\": \"" << json_escape(d.device)
      << "\", \"node\": \"" << json_escape(d.node) << "\", \"phase\": \""
-     << json_escape(d.phase) << "\"}";
+     << json_escape(d.phase) << "\", \"instances\": " << f.paths.size()
+     << ", \"exemplar_paths\": [";
+  const std::size_t shown = std::min<std::size_t>(f.paths.size(), 3);
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(f.paths[i]) << "\"";
+  }
+  os << "]}";
 }
 
+// Baseline suppression + baseline capture, shared by every output path.
+struct BaselineCtx {
+  std::set<std::string> accepted;       // loaded from --baseline
+  std::set<std::string>* out = nullptr; // filled for --write-baseline
+};
+
 // Shared reporting tail for real files and bench pseudo-files.
+// `hier_fast_path` is -1 when the flat engine ran, otherwise whether the
+// hierarchical composition engaged (0: fell back, 1: composed).
 FileResult report_diagnostics(const std::string& path,
                               const nvsram::lint::LintReport& report,
                               const std::vector<std::string>& werror_globs,
                               bool quiet, Format format,
                               std::vector<SarifResult>& sarif,
-                              bool first_file) {
+                              bool first_file, BaselineCtx& baseline,
+                              int hier_fast_path = -1) {
   using namespace nvsram;
   FileResult result;
-  result.errors = report.count(lint::Severity::kError);
-  result.warnings = report.count(lint::Severity::kWarning);
+  std::vector<const lint::Diagnostic*> kept;
+  std::size_t infos = 0;
+  std::size_t suppressed = 0;
   for (const auto& d : report.diagnostics()) {
-    if (d.severity != lint::Severity::kWarning) continue;
+    const std::string key = path + "|" + d.dedup_key();
+    if (baseline.out != nullptr) baseline.out->insert(key);
+    if (baseline.accepted.count(key) > 0) {
+      ++suppressed;
+      continue;
+    }
+    kept.push_back(&d);
+    if (d.severity == lint::Severity::kError) {
+      ++result.errors;
+    } else if (d.severity == lint::Severity::kWarning) {
+      ++result.warnings;
+    } else {
+      ++infos;
+    }
+  }
+  for (const auto* d : kept) {
+    if (d->severity != lint::Severity::kWarning) continue;
     for (const auto& glob : werror_globs) {
-      if (glob_match(glob, d.rule)) {
+      if (glob_match(glob, d->rule)) {
         ++result.werror_hits;
         break;
       }
     }
   }
+  const std::vector<Finding> findings = dedup_findings(kept);
   if (format == Format::kSarif) {
-    for (const auto& d : report.diagnostics()) sarif.push_back({path, d});
+    for (const auto& f : findings) {
+      SarifResult r{path, *f.rep, f.paths.size(), {}};
+      const std::size_t shown = std::min<std::size_t>(f.paths.size(), 3);
+      r.exemplars.assign(f.paths.begin(),
+                         f.paths.begin() + static_cast<std::ptrdiff_t>(shown));
+      sarif.push_back(std::move(r));
+    }
     return result;
   }
   if (format == Format::kJson) {
     if (!first_file) std::cout << ",";
     std::cout << "\n  {\"file\": \"" << json_escape(path)
               << "\", \"parse_failed\": false, \"errors\": " << result.errors
-              << ", \"warnings\": " << result.warnings
-              << ", \"diagnostics\": [";
+              << ", \"warnings\": " << result.warnings;
+    if (hier_fast_path >= 0) {
+      std::cout << ", \"hier_fast_path\": "
+                << (hier_fast_path == 1 ? "true" : "false");
+    }
+    if (!baseline.accepted.empty()) {
+      std::cout << ", \"baselined\": " << suppressed;
+    }
+    std::cout << ", \"diagnostics\": [";
     bool first = true;
-    for (const auto& d : report.diagnostics()) {
-      print_json_diagnostic(std::cout, path, d, first);
+    for (const auto& f : findings) {
+      print_json_diagnostic(std::cout, path, f, first);
       first = false;
     }
     std::cout << (first ? "]" : "\n    ]") << "}";
     return result;
   }
   if (!quiet) {
-    for (const auto& d : report.diagnostics()) {
+    if (hier_fast_path == 0) {
+      std::cout << path << ": note: hierarchical lint fell back to flat "
+                << "analysis: " << lint::hier::last_fallback_reason() << "\n";
+    }
+    for (const auto& f : findings) {
+      const lint::Diagnostic& d = *f.rep;
       std::cout << path << ":" << (d.line >= 0 ? std::to_string(d.line) : "-")
                 << ": " << to_string(d.severity) << "[" << d.rule
                 << "]: " << d.message;
       if (!d.phase.empty()) std::cout << " (phase " << d.phase << ")";
+      if (f.paths.size() > 1) {
+        std::cout << " (" << instance_note(f.paths) << ")";
+      }
       std::cout << "\n";
     }
   }
   std::cout << path << ": " << result.errors << " error(s), "
-            << result.warnings << " warning(s), "
-            << report.count(lint::Severity::kInfo) << " info(s)\n";
+            << result.warnings << " warning(s), " << infos << " info(s)";
+  if (suppressed > 0) std::cout << ", " << suppressed << " baselined";
+  std::cout << "\n";
   return result;
 }
 
@@ -223,7 +362,7 @@ FileResult lint_file(const std::string& path,
                      const nvsram::lint::LintOptions& options,
                      const std::vector<std::string>& werror_globs, bool quiet,
                      Format format, std::vector<SarifResult>& sarif,
-                     bool first_file) {
+                     bool first_file, BaselineCtx& baseline, bool hier) {
   using namespace nvsram;
   FileResult result;
 
@@ -264,9 +403,16 @@ FileResult lint_file(const std::string& path,
     return result;
   }
 
-  const lint::LintReport report = net->lint(options);
+  int hier_fast_path = -1;
+  lint::LintReport report;
+  if (hier) {
+    report = lint::lint_netlist_hier(*net, options);
+    hier_fast_path = lint::hier::last_run_used_fast_path() ? 1 : 0;
+  } else {
+    report = net->lint(options);
+  }
   return report_diagnostics(path, report, werror_globs, quiet, format, sarif,
-                            first_file);
+                            first_file, baseline, hier_fast_path);
 }
 
 // Builds the scheduled benchmark deck for one architecture and runs the
@@ -276,7 +422,7 @@ FileResult lint_bench(nvsram::sram::BenchArch arch,
                       const nvsram::lint::LintOptions& options,
                       const std::vector<std::string>& werror_globs, bool quiet,
                       Format format, std::vector<SarifResult>& sarif,
-                      bool first_file) {
+                      bool first_file, BaselineCtx& baseline) {
   using namespace nvsram;
   const std::string path = std::string("bench:") + sram::to_string(arch);
 
@@ -326,7 +472,7 @@ FileResult lint_bench(nvsram::sram::BenchArch arch,
                                      &tb->circuit(), nullptr));
 
   return report_diagnostics(path, report, werror_globs, quiet, format, sarif,
-                            first_file);
+                            first_file, baseline);
 }
 
 // SARIF 2.1.0 document: one run, the full rule catalog as
@@ -386,7 +532,13 @@ void print_sarif(const std::vector<SarifResult>& results) {
     std::cout << "}}], \"properties\": {\"device\": \""
               << json_escape(r.diag.device) << "\", \"node\": \""
               << json_escape(r.diag.node) << "\", \"phase\": \""
-              << json_escape(r.diag.phase) << "\"}}";
+              << json_escape(r.diag.phase) << "\", \"instances\": "
+              << r.instances << ", \"exemplarPaths\": [";
+    for (std::size_t i = 0; i < r.exemplars.size(); ++i) {
+      std::cout << (i ? ", " : "") << "\"" << json_escape(r.exemplars[i])
+                << "\"";
+    }
+    std::cout << "]}}";
   }
   std::cout << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
 }
@@ -400,12 +552,18 @@ int main(int argc, char** argv) {
   std::vector<std::string> werror_globs;
   bool quiet = false;
   bool werror = false;
+  bool hier = false;
   Format format = Format::kText;
   std::vector<SarifResult> sarif;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  BaselineCtx baseline;
+  std::set<std::string> baseline_found;
 
   const char* usage =
       "usage: nvlint [--rules] [--list-rules] [--explain=<id>] "
-      "[--disable=<id>] [--werror] "
+      "[--disable=<id>] [--hier] [--baseline=<file>] "
+      "[--write-baseline=<file>] [--werror] "
       "[--werror=<glob>] [--bench=<nvpg|nof|osr|all>] [--format=json|sarif] "
       "[-q] <netlist.cir>...\n";
 
@@ -431,6 +589,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.disable(id);
+    } else if (arg == "--hier") {
+      hier = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      if (baseline_path.empty()) {
+        std::cerr << "nvlint: empty --baseline= path\n";
+        return 2;
+      }
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      if (write_baseline_path.empty()) {
+        std::cerr << "nvlint: empty --write-baseline= path\n";
+        return 2;
+      }
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg.rfind("--werror=", 0) == 0) {
@@ -477,6 +649,19 @@ int main(int argc, char** argv) {
     std::cerr << usage;
     return 2;
   }
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "nvlint: cannot open baseline '" << baseline_path << "'\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      baseline.accepted.insert(line);
+    }
+  }
+  if (!write_baseline_path.empty()) baseline.out = &baseline_found;
 
   bool any_parse_failed = false;
   std::size_t total_errors = 0;
@@ -485,8 +670,8 @@ int main(int argc, char** argv) {
   if (format == Format::kJson) std::cout << "[";
   bool first = true;
   for (const auto& path : files) {
-    const FileResult r =
-        lint_file(path, options, werror_globs, quiet, format, sarif, first);
+    const FileResult r = lint_file(path, options, werror_globs, quiet, format,
+                                   sarif, first, baseline, hier);
     first = false;
     any_parse_failed = any_parse_failed || r.parse_failed;
     total_errors += r.errors;
@@ -494,8 +679,8 @@ int main(int argc, char** argv) {
     total_werror_hits += r.werror_hits;
   }
   for (const auto arch : benches) {
-    const FileResult r =
-        lint_bench(arch, options, werror_globs, quiet, format, sarif, first);
+    const FileResult r = lint_bench(arch, options, werror_globs, quiet, format,
+                                    sarif, first, baseline);
     first = false;
     total_errors += r.errors;
     total_warnings += r.warnings;
@@ -503,6 +688,20 @@ int main(int argc, char** argv) {
   }
   if (format == Format::kJson) std::cout << "\n]\n";
   if (format == Format::kSarif) print_sarif(sarif);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "nvlint: cannot write baseline '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    out << "# nvlint baseline: accepted findings, one per line as\n"
+           "# file|rule|device|node (instance-path normalized, so one line\n"
+           "# covers every replicated instance).  Regenerate with\n"
+           "# --write-baseline=<file>; suppress with --baseline=<file>.\n";
+    for (const auto& key : baseline_found) out << key << "\n";
+  }
 
   if (any_parse_failed) return 2;
   if (total_errors > 0) return 1;

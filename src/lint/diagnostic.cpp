@@ -1,5 +1,6 @@
 #include "lint/diagnostic.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -19,7 +20,26 @@ std::string Diagnostic::format() const {
   ss << to_string(severity) << '[' << rule << "]: " << message;
   if (line >= 0) ss << " (line " << line << ')';
   if (!phase.empty()) ss << " (phase " << phase << ')';
+  if (!instance_path.empty()) ss << " (in " << instance_path << ')';
   return ss.str();
+}
+
+std::string Diagnostic::dedup_key() const {
+  // The instance path appears in device/node names as a "X3.X17." prefix
+  // (and in `instance_path` as "X3/X17"); stripping it makes the key equal
+  // across all instances of one definition.
+  std::string prefix;
+  if (!instance_path.empty()) {
+    prefix = instance_path + "/";
+    std::replace(prefix.begin(), prefix.end(), '/', '.');
+  }
+  auto strip = [&prefix](const std::string& s) {
+    if (!prefix.empty() && s.compare(0, prefix.size(), prefix) == 0) {
+      return s.substr(prefix.size());
+    }
+    return s;
+  };
+  return rule + "|" + strip(device) + "|" + strip(node);
 }
 
 std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {

@@ -23,9 +23,20 @@ struct Diagnostic {
   std::string node;      // offending node name ("" when not node-bound)
   int line = -1;         // 1-based netlist source line, -1 when unknown
   std::string phase;     // testbench phase covering the event ("" when n/a)
+  // Hierarchical instance path of the offending device/node for findings
+  // inside flattened .subckt instances, e.g. "X3/X17" for device
+  // "X3.X17.M2"; "" for top-level findings.
+  std::string instance_path;
 
-  // "error[no-dc-path]: node 'y' ... (line 7)" / "... (phase store)"
+  // "error[no-dc-path]: node 'y' ... (line 7)" / "... (phase store)" /
+  // "... (in X3/X17)"
   std::string format() const;
+
+  // Location key ignoring which instance the finding replicated into:
+  // rule + device/node with the instance path stripped.  Identical keys
+  // across instances collapse into one deduplicated finding (CLI output,
+  // --baseline matching).
+  std::string dedup_key() const;
 };
 
 std::ostream& operator<<(std::ostream& os, const Diagnostic& d);

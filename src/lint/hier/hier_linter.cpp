@@ -1,0 +1,854 @@
+#include "lint/hier/hier_linter.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "lint/graph.h"
+#include "lint/hier/summary.h"
+#include "lint/lint_cache.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
+#include "spice/circuit.h"
+#include "spice/elements.h"
+#include "spice/fet_element.h"
+#include "spice/mtj_element.h"
+#include "spice/netlist_parser.h"
+#include "spice/structural_analysis.h"
+
+namespace nvsram::lint::hier {
+
+namespace {
+
+using spice::Circuit;
+using spice::Device;
+using spice::NodeId;
+using spice::ParsedNetlist;
+
+thread_local bool g_last_fast_path = false;
+thread_local std::string g_last_fallback_reason;
+
+// Stand-in for one .subckt instance in the reduced top level.  It has no
+// terminals (instance-internal pins are composed separately from the
+// definition summary), but it reproduces the definition's effect on the
+// top-level analyses:
+//   * dc_paths() chains the bound ports of each plain-DC class of the
+//     definition (plus a ground edge for grounded classes), so the reduced
+//     CircuitGraph partitions the top-level nodes exactly as the flat one;
+//   * stamp_pattern() plants the port x port projection of the definition's
+//     DC stamp pattern between the bound nodes — a subset of what the
+//     flattened instance stamps there, which is exactly what the reduced
+//     structural certificate needs.
+class InstanceSurrogate : public Device {
+ public:
+  InstanceSurrogate(std::string name, std::vector<NodeId> bound,
+                    std::shared_ptr<const DefSummary> def)
+      : Device(std::move(name)), bound_(std::move(bound)),
+        def_(std::move(def)) {}
+
+  std::vector<spice::TerminalRef> terminals() const override { return {}; }
+
+  std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (const auto& comp : def_->dc_comps) {
+      NodeId prev = spice::kGround;
+      bool have_prev = false;
+      for (const int p : comp.ports) {
+        const NodeId n = bound_[static_cast<std::size_t>(p)];
+        if (n == spice::kGround) continue;  // unused port, node absent
+        if (have_prev) edges.emplace_back(prev, n);
+        prev = n;
+        have_prev = true;
+      }
+      if (comp.grounded && have_prev) {
+        edges.emplace_back(prev, spice::kGround);
+      }
+    }
+    return edges;
+  }
+
+  void stamp(spice::StampContext&) override {}
+
+  void stamp_pattern(spice::PatternContext& ctx) const override {
+    for (const auto& [pr, pc] : def_->port_pattern) {
+      const NodeId r = bound_[static_cast<std::size_t>(pr)];
+      const NodeId c = bound_[static_cast<std::size_t>(pc)];
+      if (r == spice::kGround || c == spice::kGround) continue;
+      ctx.mat_nn(r, c);
+    }
+  }
+
+ private:
+  std::vector<NodeId> bound_;  // port index -> reduced node (kGround: unused)
+  std::shared_ptr<const DefSummary> def_;
+};
+
+struct InstanceCtx {
+  const spice::SubcktInstanceInfo* info = nullptr;
+  std::shared_ptr<const DefSummary> def;
+  std::string path;  // instance_path form of info->name ('.' -> '/')
+};
+
+class Composer {
+ public:
+  Composer(const ParsedNetlist& netlist, const LintOptions& options)
+      : nl_(netlist), options_(options) {}
+
+  // Composes the full report, or nullopt when any certificate fails and the
+  // caller must take the flat path (the reason lands in
+  // last_fallback_reason()).
+  std::optional<LintReport> run() {
+    if (!load_summaries()) return std::nullopt;
+    if (!build_reduced()) return std::nullopt;
+    if (!certify_structure()) return std::nullopt;
+
+    rgraph_.emplace(reduced_->circuit());
+    compose_float_nodes();
+    compose_dc_paths();
+    compose_voltage_branches();
+    compose_self_connected();
+    replicate_local(rules::kSelfConnected);
+    compose_values();
+    replicate_local(rules::kNonphysicalValue);
+    compose_sram_topology();
+
+    // Everything else runs over the flat netlist through the selective flat
+    // entry point, so those verdicts are flat-identical by construction.
+    LintPasses passes;
+    passes.structural = false;
+    passes.preset_floating = floating_;
+    LintReport rest = lint_netlist_passes(nl_, options_, passes);
+    for (const auto& d : rest.diagnostics()) report_.add(d);
+    return std::move(report_);
+  }
+
+ private:
+  bool bail(std::string why) {
+    g_last_fallback_reason = std::move(why);
+    return false;
+  }
+
+  // ---- summaries + per-instance screens ----------------------------------
+  bool load_summaries() {
+    std::unordered_map<std::string, std::shared_ptr<const DefSummary>> by_def;
+    const Circuit& flat = nl_.circuit();
+    for (const auto& inst : nl_.instance_infos()) {
+      // Nested instances appear with depth > 0; the composition is built
+      // for one level of hierarchy.
+      if (inst.depth != 0) {
+        return bail("instance '" + inst.name + "' is nested (depth > 0)");
+      }
+      auto it = by_def.find(inst.def);
+      if (it == by_def.end()) {
+        const spice::SubcktInfo* info = nullptr;
+        for (const auto& si : nl_.subckt_infos()) {
+          if (si.name == inst.def) {
+            info = &si;
+            break;
+          }
+        }
+        if (info == nullptr) {
+          return bail("no recorded definition for '" + inst.def + "'");
+        }
+        auto summary = lint_summary_cache_lookup(info->content_hash);
+        if (summary == nullptr) {
+          summary = summarize_subckt(*info);
+          lint_summary_cache_store(info->content_hash, summary);
+        }
+        it = by_def.emplace(inst.def, std::move(summary)).first;
+      }
+      const auto& def = it->second;
+      if (!def->ok) {
+        return bail("definition '" + inst.def + "': " + def->fail_reason);
+      }
+      if (inst.bindings.size() != static_cast<std::size_t>(def->port_count)) {
+        return bail("instance '" + inst.name + "' binding count mismatch");
+      }
+      // The quotients assume the bindings are pairwise distinct non-ground
+      // nodes; a repeated or grounded binding merges definition nodes in a
+      // way the summary cannot express.
+      std::set<std::string> seen;
+      for (const auto& b : inst.bindings) {
+        if (!seen.insert(b).second) {
+          return bail("instance '" + inst.name + "' binds node '" + b +
+                      "' to more than one port");
+        }
+        if (flat.has_node(b) && flat.find_node(b) == spice::kGround) {
+          return bail("instance '" + inst.name + "' binds ground to a port");
+        }
+      }
+      // A binding that names a node inside another instance would alias the
+      // reduced top level with replicated internals.
+      for (const auto& b : inst.bindings) {
+        if (!nl_.instance_path_of(b).empty()) {
+          return bail("instance '" + inst.name + "' binds instance-internal "
+                      "node '" + b + "'");
+        }
+      }
+      InstanceCtx ctx;
+      ctx.info = &inst;
+      ctx.def = def;
+      ctx.path = inst.name;
+      std::replace(ctx.path.begin(), ctx.path.end(), '.', '/');
+      instances_.push_back(std::move(ctx));
+    }
+    return true;
+  }
+
+  // ---- reduced top level: scope-0 cards + per-instance surrogates --------
+  bool build_reduced() {
+    int max_line = 1;
+    for (const auto& [card, line] : nl_.top_card_lines()) {
+      (void)card;
+      max_line = std::max(max_line, line);
+    }
+    std::vector<std::string> lines(static_cast<std::size_t>(max_line) + 1,
+                                   "*");
+    if (!nl_.title().empty()) lines[1] = nl_.title();
+    for (const auto& [card, line] : nl_.top_card_lines()) {
+      lines[static_cast<std::size_t>(line)] = card;
+    }
+    std::ostringstream text;
+    for (std::size_t i = 1; i < lines.size(); ++i) text << lines[i] << '\n';
+    try {
+      spice::NetlistParser parser;
+      reduced_ = parser.parse(text.str());
+    } catch (const std::exception& e) {
+      // e.g. every device lives inside instances
+      return bail(std::string("reduced top level does not parse: ") +
+                  e.what());
+    }
+
+    Circuit& rckt = reduced_->circuit();
+    // Top-level names that collide with flattened instance internals would
+    // make the reduced view lose pins; bail to the flat path.
+    for (NodeId n = 1; n < rckt.node_count(); ++n) {
+      if (!nl_.instance_path_of(rckt.node_name(n)).empty()) {
+        return bail("top-level node '" + rckt.node_name(n) +
+                    "' aliases an instance-internal name");
+      }
+    }
+    const Circuit& flat = nl_.circuit();
+    try {
+      std::size_t serial = 0;
+      for (auto& inst : instances_) {
+        std::vector<NodeId> bound(
+            static_cast<std::size_t>(inst.def->port_count), spice::kGround);
+        for (std::size_t k = 0; k < inst.info->bindings.size(); ++k) {
+          const std::string& b = inst.info->bindings[k];
+          // Only nodes that exist in the flat circuit are registered: a
+          // binding nobody pins does not exist flat, and creating it here
+          // would invent an unknown the flat analysis never saw.
+          if (flat.has_node(b)) bound[k] = rckt.node(b);
+        }
+        rckt.add<InstanceSurrogate>("xhier~" + std::to_string(serial++),
+                                    std::move(bound), inst.def);
+      }
+    } catch (const std::exception& e) {
+      // pathological name collision with a surrogate
+      return bail(std::string("surrogate construction failed: ") + e.what());
+    }
+    return true;
+  }
+
+  // ---- structural certificate --------------------------------------------
+  // The summaries certify every instance interior (internal diagonals,
+  // grounded port-free blocks); a solvable reduced top level with the
+  // surrogate projections then proves the flat pattern has a perfect
+  // matching and no dangling branch rows.  The ground-reference
+  // (floating-block) check cannot run on the reduced pattern directly:
+  // definition interiors both merge pattern classes (a gate rail read by
+  // every cell couples only through in-definition gate-column entries) and
+  // ground them, invisibly to the port x port projection.
+  // certify_grounding() composes that proof from the per-definition port
+  // classes instead.
+  bool certify_structure() {
+    const spice::StructuralReport rep =
+        spice::analyze_structure(reduced_->circuit(), /*dc=*/true);
+    if (rep.structurally_singular || !rep.dangling_branches.empty()) {
+      std::ostringstream why;
+      why << "reduced top level is not structurally solvable:";
+      if (!rep.dangling_branches.empty()) {
+        why << " dangling('" << rep.dangling_branches.front().device << "')";
+      }
+      for (const auto& d : rep.undetermined_unknowns) {
+        why << " undetermined(" << d.unknown << ")";
+      }
+      for (const auto& d : rep.unsolvable_equations) {
+        why << " unsolvable(" << d.unknown << ")";
+      }
+      return bail(why.str());
+    }
+    return certify_grounding();
+  }
+
+  // Composed ground-reference proof.  The flat bipartite pattern classes,
+  // restricted to top-visible vertices, equal the classes generated by the
+  // reduced triplets plus the per-instance port-class unions; the flat
+  // grounding marks are exactly the top devices with a ground terminal
+  // (attributed, like analyze_structure, to their first stamped row) plus
+  // the grounded definition classes.  Definition classes that never touch a
+  // port were already certified grounded by the summary itself, so flat
+  // lint emits zero floating-block findings iff every touched composed
+  // vertex lands in a grounded class.
+  bool certify_grounding() {
+    const Circuit& rckt = reduced_->circuit();
+    spice::MnaLayout layout(rckt.node_count());
+    const auto& devices = rckt.devices();
+    for (const auto& dev : devices) dev->reserve(layout);
+    const std::size_t n = layout.unknown_count();
+    if (n == 0) return true;
+
+    linalg::SparseBuilder builder(n);
+    std::vector<std::pair<std::size_t, std::size_t>> stamped(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      spice::PatternContext ctx(layout, builder, /*dc=*/true);
+      stamped[i].first = builder.triplets().size();
+      devices[i]->stamp_pattern(ctx);
+      stamped[i].second = builder.triplets().size();
+    }
+
+    // Union-find over the 2n bipartite vertices: v in [0, n) is equation
+    // row v, v in [n, 2n) is unknown column v - n.
+    std::vector<std::size_t> parent(2 * n);
+    for (std::size_t v = 0; v < parent.size(); ++v) parent[v] = v;
+    auto find = [&parent](std::size_t v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+    std::vector<char> touched(2 * n, 0);
+    for (const auto& trip : builder.triplets()) {
+      touched[trip.row] = 1;
+      touched[n + trip.col] = 1;
+      unite(trip.row, n + trip.col);
+    }
+
+    // Ground marks whose roots resolve after all unions are in.
+    std::vector<std::size_t> grounded_at;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (stamped[i].first == stamped[i].second) continue;
+      for (const spice::TerminalRef& t : devices[i]->terminals()) {
+        if (t.node == spice::kGround) {
+          grounded_at.push_back(builder.triplets()[stamped[i].first].row);
+          break;
+        }
+      }
+    }
+
+    for (const auto& inst : instances_) {
+      for (const auto& cls : inst.def->port_classes) {
+        std::size_t first = 0;
+        bool have_first = false;
+        for (const auto& [side, p] : cls.members) {
+          const std::string& b =
+              inst.info->bindings[static_cast<std::size_t>(p)];
+          if (!rckt.has_node(b)) {
+            return bail("instance '" + inst.info->name + "' port node '" + b +
+                        "' missing from the reduced top level");
+          }
+          const std::size_t u = layout.node_index(rckt.find_node(b));
+          const std::size_t v = side == 0 ? u : n + u;
+          touched[v] = 1;
+          if (have_first) {
+            unite(first, v);
+          } else {
+            first = v;
+            have_first = true;
+          }
+        }
+        if (have_first && cls.grounded) grounded_at.push_back(first);
+      }
+    }
+
+    std::unordered_set<std::size_t> grounded_roots;
+    for (const std::size_t v : grounded_at) grounded_roots.insert(find(v));
+    for (std::size_t v = 0; v < 2 * n; ++v) {
+      if (!touched[v] || grounded_roots.count(find(v)) > 0) continue;
+      const std::size_t u = v < n ? v : v - n;
+      std::ostringstream why;
+      why << "composed ground-reference proof failed at "
+          << (v < n ? "equation " : "unknown ");
+      if (u < rckt.node_count() - 1) {
+        why << "V(" << rckt.node_name(static_cast<NodeId>(u + 1)) << ")";
+      } else {
+        why << "branch " << u - (rckt.node_count() - 1);
+      }
+      return bail(why.str());
+    }
+    return true;
+  }
+
+  // ---- shared emit plumbing (mirrors the flat Linter) --------------------
+  void emit(const char* rule, std::string message, std::string device,
+            std::string node, int line) {
+    if (!options_.enabled(rule)) return;
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = default_severity(rule);
+    if (d.severity < options_.min_severity) return;
+    d.message = std::move(message);
+    d.device = std::move(device);
+    d.node = std::move(node);
+    d.line = line;
+    if (d.instance_path.empty()) {
+      const std::string& name = d.device.empty() ? d.node : d.device;
+      if (!name.empty()) d.instance_path = nl_.instance_path_of(name);
+    }
+    report_.add(std::move(d));
+  }
+
+  int reduced_device_line(const std::string& name) const {
+    std::string probe = name;
+    for (;;) {
+      const int line = reduced_->device_line(probe);
+      if (line >= 0) return line;
+      const auto dot = probe.rfind('.');
+      if (dot == std::string::npos) return -1;
+      probe.resize(dot);
+    }
+  }
+
+  // Rewrites a summary-local name or message for one instance: the probe
+  // prefix ("X0.") becomes "<instance>." and every "__p<k>" placeholder
+  // becomes the bound node name (descending k, so "__p12" wins over "__p1").
+  std::string rewrite(std::string text, const InstanceCtx& inst) const {
+    const std::string& from = inst.def->local_prefix;
+    const std::string to = inst.info->name + ".";
+    for (std::size_t pos = 0; (pos = text.find(from, pos)) != std::string::npos;
+         pos += to.size()) {
+      text.replace(pos, from.size(), to);
+    }
+    for (int k = inst.def->port_count - 1; k >= 0; --k) {
+      const std::string ph = port_placeholder(k);
+      const std::string& binding =
+          inst.info->bindings[static_cast<std::size_t>(k)];
+      for (std::size_t pos = 0;
+           (pos = text.find(ph, pos)) != std::string::npos;
+           pos += binding.size()) {
+        text.replace(pos, ph.size(), binding);
+      }
+    }
+    return text;
+  }
+
+  // Replicates the definition-local diagnostics carrying `rule` into every
+  // instance (float-node replication happens inside compose_float_nodes so
+  // the floating-set bookkeeping stays in one place).
+  void replicate_local(const char* rule) {
+    for (const auto& inst : instances_) {
+      for (const auto& d : inst.def->local_diags) {
+        if (d.rule != rule) continue;
+        if (!options_.enabled(d.rule)) continue;
+        if (d.severity < options_.min_severity) continue;
+        Diagnostic copy = d;
+        copy.message = rewrite(copy.message, inst);
+        copy.device = rewrite(copy.device, inst);
+        copy.node = rewrite(copy.node, inst);
+        copy.instance_path = inst.path;
+        report_.add(std::move(copy));
+      }
+    }
+  }
+
+  // ---- float-node ---------------------------------------------------------
+  void compose_float_nodes() {
+    struct PinDesc {
+      std::string device;
+      std::string role;
+    };
+    // Definition-side pin contributions per bound top-level node.
+    std::unordered_map<std::string, int> extra;
+    std::unordered_map<std::string, PinDesc> only_pin;
+    for (const auto& inst : instances_) {
+      for (int k = 0; k < inst.def->port_count; ++k) {
+        const auto& pf = inst.def->ports[static_cast<std::size_t>(k)];
+        if (pf.pins == 0) continue;
+        const std::string& b =
+            inst.info->bindings[static_cast<std::size_t>(k)];
+        extra[b] += pf.pins;
+        if (pf.pins == 1) {
+          only_pin[b] = {rewrite(pf.single_pin_device, inst),
+                         pf.single_pin_role};
+        }
+      }
+    }
+    const Circuit& rckt = reduced_->circuit();
+    for (NodeId n = 1; n < rckt.node_count(); ++n) {
+      const std::string& name = rckt.node_name(n);
+      const auto& pins = rgraph_->pins(n);
+      const auto it = extra.find(name);
+      const int total =
+          static_cast<int>(pins.size()) + (it == extra.end() ? 0 : it->second);
+      if (total > 1) continue;
+      floating_.insert(name);
+      if (total == 0) {
+        emit(rules::kFloatNode,
+             "node '" + name + "' is not attached to any device pin", "",
+             name, nl_.node_line(name));
+      } else {
+        PinDesc desc = pins.size() == 1
+                           ? PinDesc{pins[0].device->name(), pins[0].role}
+                           : only_pin[name];
+        emit(rules::kFloatNode,
+             "node '" + name + "' is attached to a single device pin ('" +
+                 desc.device + "' " + desc.role + ")",
+             "", name, nl_.node_line(name));
+      }
+    }
+    // Definition-internal 0/1-pin nodes replicate per instance.  The
+    // floating-set insert happens before the option filter, matching the
+    // flat pass (which tracks floating nodes even for disabled rules).
+    for (const auto& inst : instances_) {
+      for (const auto& d : inst.def->local_diags) {
+        if (d.rule != rules::kFloatNode) continue;
+        Diagnostic copy = d;
+        copy.message = rewrite(copy.message, inst);
+        copy.node = rewrite(copy.node, inst);
+        floating_.insert(copy.node);
+        if (!options_.enabled(copy.rule)) continue;
+        if (copy.severity < options_.min_severity) continue;
+        copy.instance_path = inst.path;
+        report_.add(std::move(copy));
+      }
+    }
+  }
+
+  // ---- no-dc-path ---------------------------------------------------------
+  void compose_dc_paths() {
+    const Circuit& rckt = reduced_->circuit();
+    const Circuit& flat = nl_.circuit();
+    // flat NodeId + name per member, so ordering, the representative node,
+    // and the member list match the flat diagnostic exactly.
+    using Member = std::pair<NodeId, std::string>;
+    std::map<std::size_t, std::vector<Member>> islands;
+    auto flat_member = [&](const std::string& name) {
+      return Member{flat.find_node(name), name};
+    };
+    for (NodeId n = 1; n < rckt.node_count(); ++n) {
+      if (!rgraph_->dc_reaches_ground(n)) {
+        islands[rgraph_->dc_component(n)].push_back(
+            flat_member(rckt.node_name(n)));
+      }
+    }
+    std::vector<std::vector<Member>> instance_islands;
+    for (const auto& inst : instances_) {
+      for (const auto& comp : inst.def->dc_comps) {
+        if (comp.internals.empty() || comp.grounded) continue;
+        std::vector<Member>* bucket = nullptr;
+        if (!comp.ports.empty()) {
+          // Attached to the top level through its bound ports: grounded iff
+          // the reduced component is (ports of one class always land in one
+          // reduced component, chained by the surrogate).
+          const std::string& b = inst.info->bindings[static_cast<std::size_t>(
+              comp.ports.front())];
+          const NodeId rn = rckt.find_node(b);
+          if (rgraph_->dc_reaches_ground(rn)) continue;
+          bucket = &islands[rgraph_->dc_component(rn)];
+        } else {
+          instance_islands.emplace_back();
+          bucket = &instance_islands.back();
+        }
+        for (const int i : comp.internals) {
+          bucket->push_back(flat_member(
+              inst.info->name + "." +
+              inst.def->internals[static_cast<std::size_t>(i)].name));
+        }
+      }
+    }
+
+    auto emit_island = [&](std::vector<Member> nodes) {
+      std::sort(nodes.begin(), nodes.end());
+      for (const auto& [id, name] : nodes) {
+        (void)id;
+        floating_.insert(name);
+      }
+      std::ostringstream names;
+      const std::size_t shown = std::min<std::size_t>(nodes.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (i) names << ", ";
+        names << '\'' << nodes[i].second << '\'';
+      }
+      if (nodes.size() > shown) {
+        names << " (+" << nodes.size() - shown << " more)";
+      }
+      int line = -1;
+      for (const auto& [id, name] : nodes) {
+        (void)id;
+        const int l = nl_.node_line(name);
+        if (l >= 0 && (line < 0 || l < line)) line = l;
+      }
+      emit(rules::kNoDcPath,
+           "node" + std::string(nodes.size() > 1 ? "s " : " ") + names.str() +
+               " ha" + (nodes.size() > 1 ? "ve" : "s") +
+               " no DC conduction path to ground (capacitors and current "
+               "sources are open at DC); the MNA operating point is singular",
+           "", nodes.front().second, line);
+    };
+    for (auto& [root, nodes] : islands) {
+      (void)root;
+      emit_island(std::move(nodes));
+    }
+    for (auto& nodes : instance_islands) emit_island(std::move(nodes));
+  }
+
+  // ---- vsource-shorted / vsource-loop ------------------------------------
+  // Definitions cannot contain voltage-defined branches (the summary screens
+  // card kinds), so both rules reduce to the top level verbatim; the loop
+  // closers come out identical because the reduced device order preserves
+  // the top-card order the flat union-find saw.
+  void compose_voltage_branches() {
+    const Circuit& rckt = reduced_->circuit();
+    for (const auto& dev : rckt.devices()) {
+      const auto vb = dev->voltage_branch();
+      if (vb && vb->first == vb->second) {
+        emit(rules::kVsourceShorted,
+             "voltage-defined branch '" + dev->name() +
+                 "' has both terminals on node '" +
+                 rckt.node_name(vb->first) +
+                 "'; its branch equation is unsatisfiable",
+             dev->name(), "", reduced_device_line(dev->name()));
+      }
+    }
+    for (const Device* dev : rgraph_->voltage_loop_closers()) {
+      emit(rules::kVsourceLoop,
+           "voltage-defined branch '" + dev->name() +
+               "' closes a loop of voltage sources (parallel or "
+               "cyclic V/E devices); the MNA matrix is singular",
+           dev->name(), "", reduced_device_line(dev->name()));
+    }
+  }
+
+  // ---- self-connected (top level; instances replicate) -------------------
+  void compose_self_connected() {
+    const Circuit& rckt = reduced_->circuit();
+    for (const auto& dev : rckt.devices()) {
+      if (dev->voltage_branch()) continue;
+      if (const auto* fet =
+              dynamic_cast<const spice::FinFETElement*>(dev.get())) {
+        if (fet->drain() == fet->source()) {
+          emit(rules::kSelfConnected,
+               "FET '" + dev->name() +
+                   "' has drain and source on the same node; the channel "
+                   "can never conduct",
+               dev->name(), "", reduced_device_line(dev->name()));
+        }
+        continue;
+      }
+      const auto terms = dev->terminals();  // surrogates: empty, skipped
+      if (terms.size() == 2 && terms[0].node == terms[1].node) {
+        emit(rules::kSelfConnected,
+             "device '" + dev->name() + "' has both terminals on node '" +
+                 rckt.node_name(terms[0].node) +
+                 "'; its stamps cancel and it carries no signal",
+             dev->name(), "", reduced_device_line(dev->name()));
+      }
+    }
+  }
+
+  // ---- nonphysical-value (top level; instances replicate) ----------------
+  void compose_values() {
+    const Circuit& rckt = reduced_->circuit();
+    auto check_positive = [&](const Device& dev, const char* what,
+                              double value) {
+      if (value > 0.0) return;
+      std::ostringstream msg;
+      msg << "device '" << dev.name() << "' has non-physical " << what << " "
+          << value << " (must be > 0)";
+      emit(rules::kNonphysicalValue, msg.str(), dev.name(), "",
+           reduced_device_line(dev.name()));
+    };
+    for (const auto& dev : rckt.devices()) {
+      if (const auto* r = dynamic_cast<const spice::Resistor*>(dev.get())) {
+        check_positive(*dev, "resistance", r->resistance());
+      } else if (const auto* c =
+                     dynamic_cast<const spice::Capacitor*>(dev.get())) {
+        check_positive(*dev, "capacitance", c->capacitance());
+      } else if (const auto* l =
+                     dynamic_cast<const spice::Inductor*>(dev.get())) {
+        check_positive(*dev, "inductance", l->inductance());
+      } else if (const auto* fet = dynamic_cast<const spice::FinFETElement*>(
+                     dev.get())) {
+        const auto& p = fet->model().params();
+        check_positive(*dev, "fin count", static_cast<double>(p.fin_count));
+        check_positive(*dev, "channel length", p.channel_length);
+      } else if (const auto* mtj =
+                     dynamic_cast<const spice::MTJElement*>(dev.get())) {
+        const auto& p = mtj->model().params();
+        check_positive(*dev, "tau0", p.tau0);
+        check_positive(*dev, "diameter", p.diameter);
+      } else if (const auto* diode =
+                     dynamic_cast<const spice::Diode*>(dev.get())) {
+        check_positive(*dev, "saturation current",
+                       diode->saturation_current());
+      }
+    }
+  }
+
+  // ---- sram-cross-coupling / mtj-orientation -----------------------------
+  void compose_sram_topology() {
+    const Circuit& rckt = reduced_->circuit();
+    std::vector<const spice::FinFETElement*> top_fets;
+    std::vector<const spice::MTJElement*> top_mtjs;
+    for (const auto& dev : rckt.devices()) {
+      if (const auto* f =
+              dynamic_cast<const spice::FinFETElement*>(dev.get())) {
+        top_fets.push_back(f);
+      } else if (const auto* m =
+                     dynamic_cast<const spice::MTJElement*>(dev.get())) {
+        top_mtjs.push_back(m);
+      }
+    }
+    std::size_t fets = top_fets.size();
+    std::size_t mtjs = top_mtjs.size();
+    for (const auto& inst : instances_) {
+      fets += static_cast<std::size_t>(inst.def->fet_count);
+      mtjs += static_cast<std::size_t>(inst.def->mtj_count);
+    }
+
+    // Global FET-channel node set, by top-level name (instance internals
+    // are tracked by the per-definition channel flag instead — nothing
+    // outside the instance can reach them).
+    std::unordered_set<std::string> channel;
+    bool gnd_channel = false;
+    for (const auto* f : top_fets) {
+      for (const NodeId ch : {f->drain(), f->source()}) {
+        if (ch == spice::kGround) {
+          gnd_channel = true;
+        } else {
+          channel.insert(rckt.node_name(ch));
+        }
+      }
+    }
+    for (const auto& inst : instances_) {
+      gnd_channel = gnd_channel || inst.def->gnd_channel;
+      for (const int p : inst.def->channel_ports) {
+        channel.insert(inst.info->bindings[static_cast<std::size_t>(p)]);
+      }
+    }
+
+    auto emit_orientation = [&](const std::string& device, int line) {
+      emit(rules::kMtjOrientation,
+           "MTJ '" + device +
+               "' has its pinned layer on the FET store branch and its "
+               "free layer elsewhere; the paper's topology puts the free "
+               "layer on the storage-node side (store polarity inverted)",
+           device, "", line);
+    };
+    for (const auto* m : top_mtjs) {
+      auto is_channel = [&](NodeId n) {
+        return n == spice::kGround ? gnd_channel
+                                   : channel.count(rckt.node_name(n)) > 0;
+      };
+      if (is_channel(m->pinned_node()) && !is_channel(m->free_node())) {
+        emit_orientation(m->name(), reduced_device_line(m->name()));
+      }
+    }
+    for (const auto& inst : instances_) {
+      auto is_channel = [&](const MtjTerminal& t) {
+        if (t.ground) return gnd_channel;
+        if (t.port >= 0) {
+          return channel.count(
+                     inst.info->bindings[static_cast<std::size_t>(t.port)]) >
+                 0;
+        }
+        return t.internal_channel;
+      };
+      for (const auto& m : inst.def->mtjs) {
+        if (is_channel(m.pinned) && !is_channel(m.free)) {
+          emit_orientation(inst.info->name + "." + m.local_name, m.line);
+        }
+      }
+    }
+
+    if (mtjs >= 2 && fets >= 6) {
+      bool coupled = false;
+      for (const auto& inst : instances_) {
+        coupled = coupled || inst.def->local_cross_pair;
+      }
+      if (!coupled) {
+        // Cross-instance (or top-level) pairs: each FET whose gate and
+        // drain are both top-visible contributes a (gate, drain) name
+        // pair; a cross-coupled pair is (a, b) and (b, a) with a != b.
+        std::set<std::pair<std::string, std::string>> half;
+        for (const auto* f : top_fets) {
+          half.emplace(rckt.node_name(f->gate()), rckt.node_name(f->drain()));
+        }
+        for (const auto& inst : instances_) {
+          for (const auto& [g, d] : inst.def->port_half_pairs) {
+            half.emplace(inst.info->bindings[static_cast<std::size_t>(g)],
+                         inst.info->bindings[static_cast<std::size_t>(d)]);
+          }
+        }
+        for (const auto& [a, b] : half) {
+          if (a != b && half.count({b, a})) {
+            coupled = true;
+            break;
+          }
+        }
+      }
+      if (!coupled) {
+        emit(rules::kSramCrossCoupling,
+             "circuit carries " + std::to_string(mtjs) +
+                 " MTJ retention devices and " + std::to_string(fets) +
+                 " FETs but no cross-coupled inverter pair; the 6T storage "
+                 "core appears mis-wired",
+             "", "", -1);
+      }
+    }
+  }
+
+  const ParsedNetlist& nl_;
+  const LintOptions& options_;
+  std::vector<InstanceCtx> instances_;
+  std::unique_ptr<ParsedNetlist> reduced_;
+  std::optional<CircuitGraph> rgraph_;
+  LintReport report_;
+  // Names the composed structural passes found floating, fed to the power
+  // pass for dedupe exactly like the flat Linter's floating_nodes_.
+  std::unordered_set<std::string> floating_;
+};
+
+}  // namespace
+
+bool last_run_used_fast_path() { return g_last_fast_path; }
+
+const std::string& last_fallback_reason() { return g_last_fallback_reason; }
+
+LintReport lint_hier(const ParsedNetlist& netlist, const LintOptions& options) {
+  g_last_fast_path = false;
+  g_last_fallback_reason.clear();
+  if (netlist.instance_infos().empty()) {
+    // Nothing to compose; the flat path is already O(top-level cards), so
+    // this is trivially the fast path, not a certificate failure.
+    g_last_fast_path = true;
+    return lint_netlist(netlist, options);
+  }
+  std::optional<LintReport> composed = Composer(netlist, options).run();
+  if (!composed) return lint_netlist(netlist, options);
+  g_last_fast_path = true;
+  return std::move(*composed);
+}
+
+}  // namespace nvsram::lint::hier
+
+namespace nvsram::lint {
+
+LintReport lint_netlist_hier(const spice::ParsedNetlist& netlist,
+                             const LintOptions& options) {
+  return hier::lint_hier(netlist, options);
+}
+
+}  // namespace nvsram::lint

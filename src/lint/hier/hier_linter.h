@@ -1,0 +1,53 @@
+// Hierarchical summary-based lint engine.
+//
+// The flat linter (lint/linter.cpp) walks the fully flattened circuit, so an
+// N×M array of one cell definition pays the per-device rule cost N·M times.
+// This engine instead:
+//
+//   1. parses each `.subckt` definition once in isolation (a "mini" netlist
+//      over its ports) and derives an interface summary: structural
+//      connectivity quotients over the ports, per-port DC-stamp facts, FET
+//      gate/channel port roles, MTJ/FET presence, and the definition-local
+//      diagnostics that replicate verbatim into every instance
+//      (hier/summary.h);
+//   2. rebuilds the *reduced* top level — the scope-0 cards with their
+//      original line numbers, X cards replaced by per-instance surrogate
+//      wiring devices derived from the summaries — and runs the real
+//      top-level checkers on it;
+//   3. composes whole-netlist verdicts from (1) + (2) in
+//      O(unique defs + instances·ports).
+//
+// Every step carries a certificate that the composition is exact; any
+// failed certificate (a construct the summaries cannot represent, or a
+// screen that cannot prove the quotient preserves the flat verdict) makes
+// the engine return the flat `lint_netlist` result wholesale.  Hierarchical
+// lint is therefore verdict-identical to flat lint by construction, and
+// fast on the decks that matter: large arrays of certified-clean cells.
+#pragma once
+
+#include <string>
+
+#include "lint/report.h"
+#include "lint/rules.h"
+
+namespace nvsram::spice {
+class ParsedNetlist;
+}
+
+namespace nvsram::lint::hier {
+
+// Implementation behind lint::lint_netlist_hier (lint/linter.h).
+LintReport lint_hier(const spice::ParsedNetlist& netlist,
+                     const LintOptions& options);
+
+// Introspection for tests/benchmarks: whether the last lint_hier call on
+// this thread used the composed fast path (true) or fell back to the flat
+// engine (false).
+bool last_run_used_fast_path();
+
+// Why the last lint_hier call on this thread fell back ("" when the fast
+// path ran, or when the netlist had no instances to compose).  Shown by
+// `nvlint --hier` so a deck that silently loses the speedup is explainable.
+const std::string& last_fallback_reason();
+
+}  // namespace nvsram::lint::hier

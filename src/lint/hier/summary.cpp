@@ -1,0 +1,566 @@
+#include "lint/hier/summary.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "lint/graph.h"
+#include "lint/rules.h"
+#include "linalg/sparse.h"
+#include "spice/circuit.h"
+#include "spice/device.h"
+#include "spice/elements.h"
+#include "spice/fet_element.h"
+#include "spice/mtj_element.h"
+#include "spice/netlist_parser.h"
+
+namespace nvsram::lint::hier {
+
+namespace {
+
+using spice::Circuit;
+using spice::Device;
+using spice::NodeId;
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Card kinds a definition body may contain.  Everything else — sources and
+// inductors (branch unknowns), controlled sources, nested instances, dot
+// cards — makes the definition unrepresentable and forces the flat
+// fallback.  R/C/D/M(FinFET)/Y(MTJ) cover every cell the paper's decks
+// build out of.
+bool supported_card(char head) {
+  switch (head) {
+    case 'r':
+    case 'c':
+    case 'd':
+    case 'm':
+    case 'y':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+void uf_unite(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
+  parent[uf_find(parent, a)] = uf_find(parent, b);
+}
+
+// Mirrors Linter::device_line: companions like "M1.cgs" fall back to their
+// owner's card line by stripping trailing dot segments.
+int device_line_of(const spice::ParsedNetlist& nl, const std::string& name) {
+  std::string probe = name;
+  for (;;) {
+    const int line = nl.device_line(probe);
+    if (line >= 0) return line;
+    const auto dot = probe.rfind('.');
+    if (dot == std::string::npos) return -1;
+    probe.resize(dot);
+  }
+}
+
+class SummaryBuilder {
+ public:
+  explicit SummaryBuilder(const spice::SubcktInfo& info) : info_(info) {}
+
+  std::shared_ptr<const DefSummary> build() {
+    s_ = std::make_shared<DefSummary>();
+    s_->content_hash = info_.content_hash;
+    s_->def_name = info_.name;
+    s_->port_count = static_cast<int>(info_.ports.size());
+
+    if (!screen_body()) return s_;
+    if (!parse_mini()) return s_;
+    classify_nodes();
+    collect_pins();
+    collect_dc_components();
+    if (!collect_pattern()) return s_;
+    collect_devices();
+    collect_local_diags();
+    s_->ok = true;
+    return s_;
+  }
+
+ private:
+  std::shared_ptr<DefSummary> fail(std::string why) {
+    s_->ok = false;
+    s_->fail_reason = std::move(why);
+    return s_;
+  }
+
+  // ---- screens over the raw body -----------------------------------------
+  bool screen_body() {
+    for (const auto& [line, line_no] : info_.body) {
+      (void)line_no;
+      std::size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos) continue;
+      const char head =
+          static_cast<char>(std::tolower(static_cast<unsigned char>(line[i])));
+      if (!supported_card(head)) {
+        fail(std::string("unsupported card kind '") + line[i] +
+             "' in definition body");
+        return false;
+      }
+      // The instance prefix and port placeholders of the probe netlist must
+      // not collide with names the body spells out, or the composer's
+      // per-instance rewrite would corrupt them.
+      const std::string low = to_lower(line);
+      if (low.find("__p") != std::string::npos ||
+          low.find("x0.") != std::string::npos) {
+        fail("definition body uses a reserved probe name ('__p*' or 'x0.*')");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- probe netlist: the definition instantiated once in isolation ------
+  bool parse_mini() {
+    int max_line = info_.def_line;
+    for (const auto& [line, line_no] : info_.body) {
+      (void)line;
+      max_line = std::max(max_line, line_no);
+    }
+    // Original line numbers are preserved so recorded device/node lines
+    // match the flat parse of the same definition exactly.
+    std::vector<std::string> lines(static_cast<std::size_t>(max_line) + 1, "*");
+    std::ostringstream header;
+    header << ".subckt " << info_.name;
+    for (const auto& p : info_.ports) header << ' ' << p;
+    lines[static_cast<std::size_t>(info_.def_line)] = header.str();
+    for (const auto& [line, line_no] : info_.body) {
+      lines[static_cast<std::size_t>(line_no)] = line;
+    }
+    std::ostringstream text;
+    for (std::size_t i = 1; i < lines.size(); ++i) text << lines[i] << '\n';
+    text << ".ends\n";
+    text << "X0";
+    for (int k = 0; k < s_->port_count; ++k) {
+      text << ' ' << port_placeholder(k);
+    }
+    text << ' ' << info_.name << '\n';
+
+    try {
+      spice::NetlistParser parser;
+      mini_ = parser.parse(text.str());
+    } catch (const std::exception& e) {
+      fail(std::string("definition does not parse in isolation: ") + e.what());
+      return false;
+    }
+    const auto& instances = mini_->instance_infos();
+    if (instances.size() != 1) {
+      fail("probe netlist recorded an unexpected instance count");
+      return false;
+    }
+    s_->local_prefix = instances[0].name + ".";
+    return true;
+  }
+
+  // ---- node classification: port placeholder vs definition-internal ------
+  void classify_nodes() {
+    const Circuit& ckt = mini_->circuit();
+    port_node_.assign(static_cast<std::size_t>(s_->port_count),
+                      spice::kGround);
+    node_port_.assign(ckt.node_count(), -1);
+    node_internal_.assign(ckt.node_count(), -1);
+    for (int k = 0; k < s_->port_count; ++k) {
+      const std::string ph = port_placeholder(k);
+      if (!ckt.has_node(ph)) continue;  // port unused inside the definition
+      const NodeId id = ckt.find_node(ph);
+      port_node_[static_cast<std::size_t>(k)] = id;
+      node_port_[id] = k;
+    }
+    for (NodeId n = 1; n < ckt.node_count(); ++n) {
+      if (node_port_[n] >= 0) continue;
+      const std::string& full = ckt.node_name(n);
+      InternalNode in;
+      in.name = full.size() > s_->local_prefix.size() &&
+                        full.compare(0, s_->local_prefix.size(),
+                                     s_->local_prefix) == 0
+                    ? full.substr(s_->local_prefix.size())
+                    : full;
+      in.line = mini_->node_line(full);
+      node_internal_[n] = static_cast<int>(s_->internals.size());
+      s_->internals.push_back(std::move(in));
+    }
+    s_->ports.resize(static_cast<std::size_t>(s_->port_count));
+    for (int k = 0; k < s_->port_count; ++k) {
+      s_->ports[static_cast<std::size_t>(k)].name =
+          info_.ports[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // ---- per-port pin counts (composed float-node) --------------------------
+  void collect_pins() {
+    graph_.emplace(mini_->circuit());
+    for (int k = 0; k < s_->port_count; ++k) {
+      const NodeId id = port_node_[static_cast<std::size_t>(k)];
+      if (id == spice::kGround) continue;  // unused: zero pins
+      const auto& pins = graph_->pins(id);
+      auto& pf = s_->ports[static_cast<std::size_t>(k)];
+      pf.pins = static_cast<int>(pins.size());
+      if (pins.size() == 1) {
+        pf.single_pin_device = pins[0].device->name();
+        pf.single_pin_role = pins[0].role;
+      }
+    }
+  }
+
+  // ---- plain-DC quotient (composed no-dc-path + surrogate wiring) --------
+  void collect_dc_components() {
+    const Circuit& ckt = mini_->circuit();
+    std::vector<std::size_t> parent(ckt.node_count());
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    for (const auto& dev : ckt.devices()) {
+      for (const auto& [a, b] : dev->dc_paths()) uf_unite(parent, a, b);
+    }
+    const std::size_t gnd_root = uf_find(parent, spice::kGround);
+    std::map<std::size_t, std::size_t> comp_of_root;  // root -> dc_comps index
+    for (NodeId n = 1; n < ckt.node_count(); ++n) {
+      const std::size_t root = uf_find(parent, n);
+      auto [it, fresh] = comp_of_root.emplace(root, s_->dc_comps.size());
+      if (fresh) {
+        DcComponent c;
+        c.grounded = root == gnd_root;
+        s_->dc_comps.push_back(std::move(c));
+      }
+      DcComponent& c = s_->dc_comps[it->second];
+      if (node_port_[n] >= 0) {
+        c.ports.push_back(node_port_[n]);
+      } else {
+        c.internals.push_back(node_internal_[n]);
+      }
+    }
+    for (auto& c : s_->dc_comps) std::sort(c.ports.begin(), c.ports.end());
+  }
+
+  // ---- DC stamp pattern: port projection + structural certificates -------
+  // The certificates license the engine to skip the flat structural pass:
+  //   S3  every internal unknown has a diagonal entry, so a flat matching
+  //       restricted to instance internals is the identity and a perfect
+  //       matching of the reduced top level extends to a perfect flat one;
+  //   S4  every pattern component free of port unknowns contains a
+  //       DC-stamping device with a ground terminal — exactly the
+  //       groundedness criterion analyze_structure applies — so no
+  //       instance-internal block of the flat pattern is floating.
+  // Components that do touch ports are grounded through the reduced top
+  // level, which the engine separately requires to be structurally clean.
+  bool collect_pattern() {
+    const Circuit& ckt = mini_->circuit();
+    spice::MnaLayout layout(ckt.node_count());
+    for (const auto& dev : ckt.devices()) {
+      const std::size_t before = layout.unknown_count();
+      dev->reserve(layout);
+      if (layout.unknown_count() != before) {
+        fail("device '" + dev->name() + "' allocates branch unknowns");
+        return false;
+      }
+    }
+    const std::size_t unknowns = layout.unknown_count();
+    linalg::SparseBuilder builder(unknowns);
+    std::vector<std::pair<std::size_t, std::size_t>> stamped;
+    stamped.reserve(ckt.devices().size());
+    for (const auto& dev : ckt.devices()) {
+      spice::PatternContext ctx(layout, builder, /*dc=*/true);
+      const std::size_t before = builder.triplets().size();
+      dev->stamp_pattern(ctx);
+      stamped.emplace_back(before, builder.triplets().size());
+    }
+    const auto& trips = builder.triplets();
+
+    // S3: internal diagonals.
+    std::vector<bool> has_diag(unknowns, false);
+    for (const auto& t : trips) {
+      if (t.row == t.col) has_diag[t.row] = true;
+    }
+    for (NodeId n = 1; n < ckt.node_count(); ++n) {
+      if (node_internal_[n] < 0) continue;
+      if (!has_diag[layout.node_index(n)]) {
+        fail("internal node '" + ckt.node_name(n) +
+             "' has no DC diagonal stamp");
+        return false;
+      }
+    }
+
+    // Port x port projection (deduplicated, deterministic order).
+    std::set<std::pair<int, int>> projected;
+    for (const auto& t : trips) {
+      const int pr = node_port_[t.row + 1];
+      const int pc = node_port_[t.col + 1];
+      if (pr >= 0 && pc >= 0) projected.emplace(pr, pc);
+    }
+    s_->port_pattern.assign(projected.begin(), projected.end());
+
+    // S4 over the bipartite equation/unknown graph: rows 0..U-1, columns
+    // U..2U-1, one union per pattern entry — the same components
+    // analyze_structure derives.
+    std::vector<std::size_t> parent(2 * unknowns);
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    std::vector<char> touched(2 * unknowns, 0);
+    for (const auto& t : trips) {
+      uf_unite(parent, t.row, unknowns + t.col);
+      touched[t.row] = 1;
+      touched[unknowns + t.col] = 1;
+    }
+    std::map<std::size_t, bool> grounded;    // component root -> grounded
+    std::map<std::size_t, bool> has_port;    // component root -> port member
+    const auto& devices = ckt.devices();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (stamped[i].first == stamped[i].second) continue;  // pattern-empty
+      const std::size_t comp = uf_find(parent, trips[stamped[i].first].row);
+      bool gnd = false;
+      for (const auto& term : devices[i]->terminals()) {
+        if (term.node == spice::kGround) {
+          gnd = true;
+          break;
+        }
+      }
+      grounded[comp] = grounded[comp] || gnd;
+    }
+    for (std::size_t u = 0; u < unknowns; ++u) {
+      if (node_port_[u + 1] < 0) continue;
+      has_port[uf_find(parent, u)] = true;
+      has_port[uf_find(parent, unknowns + u)] = true;
+    }
+    for (std::size_t u = 0; u < unknowns; ++u) {
+      if (node_internal_[u + 1] < 0) continue;
+      for (const std::size_t root :
+           {uf_find(parent, u), uf_find(parent, unknowns + u)}) {
+        if (!has_port.count(root) && !grounded[root]) {
+          fail("pattern block around internal node '" +
+               ckt.node_name(u + 1) +
+               "' has no port or ground reference");
+          return false;
+        }
+      }
+    }
+
+    // Interface-touching classes (untouched port vertices contribute no
+    // edges def-side and impose nothing on the composed proof).
+    std::map<std::size_t, std::size_t> class_of_root;
+    for (int p = 0; p < s_->port_count; ++p) {
+      const NodeId id = port_node_[static_cast<std::size_t>(p)];
+      if (id == spice::kGround) continue;  // unused port
+      const std::size_t u = layout.node_index(id);
+      for (int side = 0; side < 2; ++side) {
+        const std::size_t v = side == 0 ? u : unknowns + u;
+        if (!touched[v]) continue;
+        const std::size_t root = uf_find(parent, v);
+        auto [it, fresh] = class_of_root.emplace(root, s_->port_classes.size());
+        if (fresh) {
+          PortClassFact f;
+          f.grounded = grounded[root];
+          s_->port_classes.push_back(std::move(f));
+        }
+        s_->port_classes[it->second].members.emplace_back(side, p);
+      }
+    }
+    return true;
+  }
+
+  // ---- FET / MTJ facts for the composed SRAM topology rules --------------
+  void collect_devices() {
+    const Circuit& ckt = mini_->circuit();
+    std::vector<std::pair<NodeId, NodeId>> gate_drain;
+    for (const auto& dev : ckt.devices()) {
+      if (const auto* fet =
+              dynamic_cast<const spice::FinFETElement*>(dev.get())) {
+        ++s_->fet_count;
+        for (const NodeId ch : {fet->drain(), fet->source()}) {
+          if (ch == spice::kGround) {
+            s_->gnd_channel = true;
+          } else if (node_port_[ch] >= 0) {
+            s_->channel_ports.push_back(node_port_[ch]);
+          } else {
+            s_->internals[static_cast<std::size_t>(node_internal_[ch])]
+                .channel = true;
+          }
+        }
+        if (node_port_[fet->gate()] >= 0 && node_port_[fet->drain()] >= 0) {
+          s_->port_half_pairs.emplace_back(node_port_[fet->gate()],
+                                           node_port_[fet->drain()]);
+        }
+        gate_drain.emplace_back(fet->gate(), fet->drain());
+      }
+    }
+    std::sort(s_->channel_ports.begin(), s_->channel_ports.end());
+    s_->channel_ports.erase(
+        std::unique(s_->channel_ports.begin(), s_->channel_ports.end()),
+        s_->channel_ports.end());
+    for (std::size_t i = 0; i < gate_drain.size() && !s_->local_cross_pair;
+         ++i) {
+      for (std::size_t j = i + 1; j < gate_drain.size(); ++j) {
+        if (gate_drain[i].first == gate_drain[j].second &&
+            gate_drain[j].first == gate_drain[i].second &&
+            gate_drain[i].first != gate_drain[i].second) {
+          s_->local_cross_pair = true;
+          break;
+        }
+      }
+    }
+
+    auto mtj_terminal = [&](NodeId n) {
+      MtjTerminal t;
+      if (n == spice::kGround) {
+        t.ground = true;
+      } else if (node_port_[n] >= 0) {
+        t.port = node_port_[n];
+      } else {
+        t.internal_channel =
+            s_->internals[static_cast<std::size_t>(node_internal_[n])].channel;
+      }
+      return t;
+    };
+    for (const auto& dev : ckt.devices()) {
+      if (const auto* mtj =
+              dynamic_cast<const spice::MTJElement*>(dev.get())) {
+        ++s_->mtj_count;
+        DefMtj m;
+        m.local_name =
+            dev->name().size() > s_->local_prefix.size()
+                ? dev->name().substr(s_->local_prefix.size())
+                : dev->name();
+        m.line = device_line_of(*mini_, dev->name());
+        m.pinned = mtj_terminal(mtj->pinned_node());
+        m.free = mtj_terminal(mtj->free_node());
+        s_->mtjs.push_back(std::move(m));
+      }
+    }
+  }
+
+  // ---- definition-local diagnostics, replicated per instance -------------
+  // Message/device/node text keeps the probe names ("X0.q", "__p3"); the
+  // composer rewrites them to instance names.  Severities are the catalog
+  // defaults; the composer applies the caller's options.
+  void collect_local_diags() {
+    const Circuit& ckt = mini_->circuit();
+    auto local = [&](const char* rule, std::string msg, std::string device,
+                     std::string node, int line) {
+      Diagnostic d;
+      d.rule = rule;
+      d.severity = default_severity(rule);
+      d.message = std::move(msg);
+      d.device = std::move(device);
+      d.node = std::move(node);
+      d.line = line;
+      s_->local_diags.push_back(std::move(d));
+    };
+
+    // float-node over definition-internal nodes (ports compose globally).
+    for (NodeId n = 1; n < ckt.node_count(); ++n) {
+      if (node_internal_[n] < 0) continue;
+      const auto& pins = graph_->pins(n);
+      const std::string& name = ckt.node_name(n);
+      if (pins.empty()) {
+        local(rules::kFloatNode,
+              "node '" + name + "' is not attached to any device pin", "",
+              name, mini_->node_line(name));
+      } else if (pins.size() == 1) {
+        local(rules::kFloatNode,
+              "node '" + name + "' is attached to a single device pin ('" +
+                  pins[0].device->name() + "' " + pins[0].role + ")",
+              "", name, mini_->node_line(name));
+      }
+    }
+
+    // self-connected (flat message formats verbatim).
+    for (const auto& dev : ckt.devices()) {
+      if (dev->voltage_branch()) continue;
+      if (const auto* fet =
+              dynamic_cast<const spice::FinFETElement*>(dev.get())) {
+        if (fet->drain() == fet->source()) {
+          local(rules::kSelfConnected,
+                "FET '" + dev->name() +
+                    "' has drain and source on the same node; the channel "
+                    "can never conduct",
+                dev->name(), "", device_line_of(*mini_, dev->name()));
+        }
+        continue;
+      }
+      const auto terms = dev->terminals();
+      if (terms.size() == 2 && terms[0].node == terms[1].node) {
+        local(rules::kSelfConnected,
+              "device '" + dev->name() + "' has both terminals on node '" +
+                  ckt.node_name(terms[0].node) +
+                  "'; its stamps cancel and it carries no signal",
+              dev->name(), "", device_line_of(*mini_, dev->name()));
+      }
+    }
+
+    // nonphysical-value (same dynamic_cast ladder and message format).
+    auto check_positive = [&](const Device& dev, const char* what,
+                              double value) {
+      if (value > 0.0) return;
+      std::ostringstream msg;
+      msg << "device '" << dev.name() << "' has non-physical " << what << " "
+          << value << " (must be > 0)";
+      local(rules::kNonphysicalValue, msg.str(), dev.name(), "",
+            device_line_of(*mini_, dev.name()));
+    };
+    for (const auto& dev : ckt.devices()) {
+      if (const auto* r = dynamic_cast<const spice::Resistor*>(dev.get())) {
+        check_positive(*dev, "resistance", r->resistance());
+      } else if (const auto* c =
+                     dynamic_cast<const spice::Capacitor*>(dev.get())) {
+        check_positive(*dev, "capacitance", c->capacitance());
+      } else if (const auto* l =
+                     dynamic_cast<const spice::Inductor*>(dev.get())) {
+        check_positive(*dev, "inductance", l->inductance());
+      } else if (const auto* fet = dynamic_cast<const spice::FinFETElement*>(
+                     dev.get())) {
+        const auto& p = fet->model().params();
+        check_positive(*dev, "fin count", static_cast<double>(p.fin_count));
+        check_positive(*dev, "channel length", p.channel_length);
+      } else if (const auto* mtj =
+                     dynamic_cast<const spice::MTJElement*>(dev.get())) {
+        const auto& p = mtj->model().params();
+        check_positive(*dev, "tau0", p.tau0);
+        check_positive(*dev, "diameter", p.diameter);
+      } else if (const auto* diode =
+                     dynamic_cast<const spice::Diode*>(dev.get())) {
+        check_positive(*dev, "saturation current",
+                       diode->saturation_current());
+      }
+    }
+  }
+
+  const spice::SubcktInfo& info_;
+  std::shared_ptr<DefSummary> s_;
+  std::unique_ptr<spice::ParsedNetlist> mini_;
+  std::optional<CircuitGraph> graph_;
+  std::vector<NodeId> port_node_;   // port index -> mini node (kGround: unused)
+  std::vector<int> node_port_;      // mini node -> port index or -1
+  std::vector<int> node_internal_;  // mini node -> internals index or -1
+};
+
+}  // namespace
+
+std::string port_placeholder(int port_index) {
+  return "__p" + std::to_string(port_index);
+}
+
+std::shared_ptr<const DefSummary> summarize_subckt(
+    const spice::SubcktInfo& info) {
+  return SummaryBuilder(info).build();
+}
+
+}  // namespace nvsram::lint::hier

@@ -1,0 +1,152 @@
+// Per-definition interface summaries for the hierarchical lint engine.
+//
+// A DefSummary is everything lint_hier needs to know about one `.subckt`
+// definition to compose the structural lint verdicts without re-analyzing
+// the flattened instances:
+//
+//   * connectivity quotients over the interface — the plain-DC classes
+//     (one per connected component under every dc_paths edge) drive both
+//     the per-instance surrogate wiring in the reduced top level and the
+//     composed no-dc-path islands;
+//   * per-port stamp facts — the port x port projection of the definition's
+//     DC MNA sparsity pattern (the surrogate's stamp_pattern entries) and
+//     per-port pin counts for the composed float-node rule;
+//   * structural certificates, baked into `ok` — every internal node owns a
+//     DC diagonal stamp (so the flat matching restricted to instance
+//     internals is the identity) and every port-free pattern component is
+//     grounded by the same criterion spice/structural_analysis.cpp applies
+//     (a DC-stamping member device with a ground terminal).  Together with
+//     a clean reduced top level these prove the flat structural pass clean;
+//   * device facts for the composed SRAM topology rules (MTJ layer
+//     placement, channel ports, cross-coupled pairs) and the gate counts;
+//   * definition-local diagnostics computed once and replicated into every
+//     instance (internal float-node, self-connected, nonphysical-value).
+//     Names in the stored diagnostics keep the builder's "X0." device
+//     prefix and "__p<k>" port placeholders; the composer rewrites both
+//     per instance.
+//
+// Summaries depend only on the definition text, so they are cached
+// process-wide under SubcktInfo::content_hash (lint/lint_cache.h).  A
+// definition the summary machinery cannot represent (unsupported card
+// kinds, branch-allocating devices, a failed certificate) yields
+// ok == false with a reason; the engine then falls back to the flat linter
+// wholesale, keeping hierarchical lint verdict-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace nvsram::spice {
+struct SubcktInfo;
+}  // namespace nvsram::spice
+
+namespace nvsram::lint::hier {
+
+// One definition-internal node (a node of the definition that is not a
+// port; its flat name is "<instance>.<name>").
+struct InternalNode {
+  std::string name;      // local name, no instance prefix
+  int line = -1;         // body line where it first appears
+  bool channel = false;  // drain or source of some definition FET
+};
+
+struct PortFact {
+  std::string name;  // as written on the .subckt card
+  int pins = 0;      // definition-device pins on this port
+  // When pins == 1: the one attached pin, for the flat-identical
+  // single-pin float-node message.
+  std::string single_pin_device;  // with the builder's "X0." prefix
+  std::string single_pin_role;
+};
+
+// One plain-DC connectivity class: a connected component of the definition
+// under every dc_paths edge (steering FETs included), ground excluded.
+struct DcComponent {
+  std::vector<int> ports;      // member port indices, sorted
+  std::vector<int> internals;  // member internal-node indices
+  bool grounded = false;       // some member conducts to ground at DC
+};
+
+// Where an MTJ layer lands relative to the interface.
+struct MtjTerminal {
+  int port = -1;                // >= 0: port index
+  bool ground = false;          // terminal on node 0
+  bool internal_channel = false;  // internal node that is a def-FET channel
+};
+
+struct DefMtj {
+  std::string local_name;  // no prefix, e.g. "Y1"
+  int line = -1;
+  MtjTerminal pinned, free;
+};
+
+// One equation/unknown bipartite pattern class of the definition that
+// touches the interface: the port-side vertices it contains (side 0 = KCL
+// row, 1 = voltage column) plus whether a member device grounds the class
+// under structural_analysis's attribution rule.  The composer unions these
+// vertices in the reduced top level's pattern graph — merges that happen
+// through definition interiors (a gate rail read by every cell) are
+// invisible to the port x port stamp projection alone.
+struct PortClassFact {
+  std::vector<std::pair<int, int>> members;  // (side, port index)
+  bool grounded = false;
+};
+
+struct DefSummary {
+  bool ok = false;
+  std::string fail_reason;  // set when ok == false
+  std::uint64_t content_hash = 0;
+  std::string def_name;
+  int port_count = 0;
+  // Device/node prefix the probe instantiation produced (normally "X0.");
+  // every occurrence in stored names and messages is rewritten to
+  // "<instance>." by the composer.
+  std::string local_prefix;
+
+  int fet_count = 0;
+  int mtj_count = 0;
+
+  std::vector<PortFact> ports;
+  std::vector<InternalNode> internals;
+  std::vector<DcComponent> dc_comps;
+
+  // Port x port projection of the definition's DC stamp pattern: the
+  // surrogate device's stamp_pattern entries (a subset of what the
+  // flattened definition stamps between its bound nodes).
+  std::vector<std::pair<int, int>> port_pattern;
+
+  // Interface-touching bipartite pattern classes, for the composed
+  // ground-reference (floating-block) proof.
+  std::vector<PortClassFact> port_classes;
+
+  // (gate port, drain port) of every def FET whose gate AND drain are both
+  // ports — candidate halves of a cross-instance cross-coupled pair.
+  std::vector<std::pair<int, int>> port_half_pairs;
+  bool local_cross_pair = false;  // cross-coupled FET pair inside the def
+  std::vector<int> channel_ports;  // ports that are a def-FET drain/source
+  bool gnd_channel = false;        // some def FET channel terminal is ground
+
+  std::vector<DefMtj> mtjs;
+
+  // Diagnostics that replicate into every instance, unfiltered (severity =
+  // default_severity; the composer applies the caller's enable/severity
+  // options).  Device/node names and message text carry the builder's
+  // "X0." prefix and "__p<k>" port placeholders.
+  std::vector<Diagnostic> local_diags;
+};
+
+// Port placeholder node name used by the builder's probe instantiation;
+// exposed for the composer's rewrite pass.
+std::string port_placeholder(int port_index);
+
+// Analyzes one definition in isolation.  Never throws: unrepresentable
+// definitions come back with ok == false and a reason.
+std::shared_ptr<const DefSummary> summarize_subckt(
+    const spice::SubcktInfo& info);
+
+}  // namespace nvsram::lint::hier

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "lint/dataflow/check.h"
 #include "lint/graph.h"
@@ -32,26 +34,38 @@ using spice::ParsedNetlist;
 class Linter {
  public:
   Linter(const Circuit& circuit, const ParsedNetlist* netlist,
-         const LintOptions& options)
+         const LintOptions& options, LintPasses passes)
       : circuit_(circuit), netlist_(netlist), options_(options),
-        graph_(circuit) {}
+        passes_(std::move(passes)) {
+    // The CircuitGraph is only consumed by the structural group; skipping its
+    // construction is the point of the selective entry for large flattened
+    // circuits.
+    if (passes_.structural) graph_.emplace(circuit);
+    floating_nodes_ = std::move(passes_.preset_floating);
+  }
 
   LintReport run() {
-    check_float_nodes();
-    check_dc_paths();
-    check_voltage_branches();
-    check_self_connected();
-    check_structure();
-    check_values();
-    check_sram_topology();
+    if (passes_.structural) {
+      check_float_nodes();
+      check_dc_paths();
+      check_voltage_branches();
+      check_self_connected();
+      check_structure();
+      check_values();
+      check_sram_topology();
+    }
     if (netlist_ != nullptr) {
-      check_cards();
-      check_probes();
-      check_temporal();
-      for (const auto& d : netlist_->parse_diagnostics()) {
-        if (!options_.enabled(d.rule)) continue;
-        if (d.severity < options_.min_severity) continue;
-        report_.add(d);
+      if (passes_.cards) check_cards();
+      if (passes_.probes) check_probes();
+      if (passes_.temporal) check_temporal();
+      if (passes_.parse) {
+        for (const auto& d : netlist_->parse_diagnostics()) {
+          if (!options_.enabled(d.rule)) continue;
+          if (d.severity < options_.min_severity) continue;
+          Diagnostic copy = d;
+          stamp_instance_path(copy);
+          report_.add(std::move(copy));
+        }
       }
     }
     return std::move(report_);
@@ -76,6 +90,14 @@ class Linter {
     return netlist_ == nullptr ? -1 : netlist_->node_line(name);
   }
 
+  // Findings inside flattened .subckt instances carry the hierarchical
+  // instance path of their device (or node), e.g. "X3/X17" for "X3.X17.M2".
+  void stamp_instance_path(Diagnostic& d) const {
+    if (netlist_ == nullptr || !d.instance_path.empty()) return;
+    const std::string& name = d.device.empty() ? d.node : d.device;
+    if (!name.empty()) d.instance_path = netlist_->instance_path_of(name);
+  }
+
   void emit(const char* rule, std::string message, std::string device,
             std::string node, int line) {
     if (!options_.enabled(rule)) return;
@@ -87,6 +109,7 @@ class Linter {
     d.device = std::move(device);
     d.node = std::move(node);
     d.line = line;
+    stamp_instance_path(d);
     report_.add(std::move(d));
   }
 
@@ -103,8 +126,8 @@ class Linter {
 
   // ---- float-node: degree-0/1 nodes --------------------------------------
   void check_float_nodes() {
-    for (NodeId n = 1; n < graph_.node_count(); ++n) {
-      const auto& pins = graph_.pins(n);
+    for (NodeId n = 1; n < graph_->node_count(); ++n) {
+      const auto& pins = graph_->pins(n);
       if (pins.empty()) {
         emit_node(rules::kFloatNode,
                   "node '" + circuit_.node_name(n) +
@@ -125,9 +148,9 @@ class Linter {
   // ---- no-dc-path: DC-isolated islands, one diagnostic per island --------
   void check_dc_paths() {
     std::map<std::size_t, std::vector<NodeId>> islands;
-    for (NodeId n = 1; n < graph_.node_count(); ++n) {
-      if (!graph_.dc_reaches_ground(n)) {
-        islands[graph_.dc_component(n)].push_back(n);
+    for (NodeId n = 1; n < graph_->node_count(); ++n) {
+      if (!graph_->dc_reaches_ground(n)) {
+        islands[graph_->dc_component(n)].push_back(n);
       }
     }
     for (const auto& [root, nodes] : islands) {
@@ -169,7 +192,7 @@ class Linter {
                     *dev);
       }
     }
-    for (const Device* dev : graph_.voltage_loop_closers()) {
+    for (const Device* dev : graph_->voltage_loop_closers()) {
       emit_device(rules::kVsourceLoop,
                   "voltage-defined branch '" + dev->name() +
                       "' closes a loop of voltage sources (parallel or "
@@ -442,6 +465,7 @@ class Linter {
     for (auto& d : diags) {
       if (!options_.enabled(d.rule)) continue;
       if (d.severity < options_.min_severity) continue;
+      stamp_instance_path(d);
       report_.add(std::move(d));
     }
   }
@@ -495,7 +519,8 @@ class Linter {
   const Circuit& circuit_;
   const ParsedNetlist* netlist_;
   const LintOptions& options_;
-  CircuitGraph graph_;
+  LintPasses passes_;
+  std::optional<CircuitGraph> graph_;
   LintReport report_;
   // Nodes already reported floating by the structural passes (float-node,
   // no-dc-path, disconnected-block); consumed by the power pass for dedupe.
@@ -505,12 +530,17 @@ class Linter {
 }  // namespace
 
 LintReport lint_circuit(const Circuit& circuit, const LintOptions& options) {
-  return Linter(circuit, nullptr, options).run();
+  return Linter(circuit, nullptr, options, LintPasses{}).run();
 }
 
 LintReport lint_netlist(const ParsedNetlist& netlist,
                         const LintOptions& options) {
-  return Linter(netlist.circuit(), &netlist, options).run();
+  return Linter(netlist.circuit(), &netlist, options, LintPasses{}).run();
+}
+
+LintReport lint_netlist_passes(const ParsedNetlist& netlist,
+                               const LintOptions& options, LintPasses passes) {
+  return Linter(netlist.circuit(), &netlist, options, std::move(passes)).run();
 }
 
 }  // namespace nvsram::lint

@@ -11,6 +11,9 @@
 // surfacing as a late `singular` flag or silently wrong energies.
 #pragma once
 
+#include <string>
+#include <unordered_set>
+
 #include "lint/report.h"
 #include "lint/rules.h"
 
@@ -21,10 +24,45 @@ class ParsedNetlist;
 
 namespace nvsram::lint {
 
+// Pass-group selection for lint_netlist_passes().  The flat entry points run
+// everything; the hierarchical engine (lint/hier/) composes the structural
+// group itself from per-definition summaries and runs the remaining groups
+// here verbatim, so those verdicts are flat-identical by construction.
+struct LintPasses {
+  // float-node / no-dc-path / vsource-* / self-connected / structural-* /
+  // nonphysical-value / sram-* (needs the CircuitGraph).
+  bool structural = true;
+  bool cards = true;     // card-unresolved
+  bool probes = true;    // probe-unresolved
+  bool temporal = true;  // protocol-* / units-* / power-* / data-*
+  bool parse = true;     // parser-recorded diagnostics (subckt-unused-port, ...)
+
+  // Names already reported floating by a composed structural pass; seeds the
+  // dedupe set the power pass consumes when `structural` is false (the flat
+  // structural group normally fills it).
+  std::unordered_set<std::string> preset_floating;
+};
+
 LintReport lint_circuit(const spice::Circuit& circuit,
                         const LintOptions& options = {});
 
 LintReport lint_netlist(const spice::ParsedNetlist& netlist,
                         const LintOptions& options = {});
+
+// Runs only the selected pass groups over the parsed netlist.  With the
+// structural group disabled the flat CircuitGraph is never built, so the
+// call costs O(devices) dispatch plus the temporal passes.
+LintReport lint_netlist_passes(const spice::ParsedNetlist& netlist,
+                               const LintOptions& options,
+                               LintPasses passes);
+
+// Hierarchical summary-based lint (lint/hier/): analyzes each .subckt
+// definition once, composes per-instance interface summaries, and runs the
+// top-level rules on the reduced (unflattened) card set — O(unique defs +
+// instances·ports) instead of O(flattened devices).  Verdict-identical to
+// lint_netlist(): whenever a definition or the composition cannot be
+// certified exact, the engine falls back to the flat path wholesale.
+LintReport lint_netlist_hier(const spice::ParsedNetlist& netlist,
+                             const LintOptions& options = {});
 
 }  // namespace nvsram::lint

@@ -135,6 +135,7 @@ class ParserImpl {
         SubcktDef def = std::move(subckt_stack_.back());
         subckt_stack_.pop_back();
         diagnose_unused_ports(def);
+        record_subckt_info(def);
         subckts_[def.name] = std::move(def);
         return;
       }
@@ -156,27 +157,35 @@ class ParserImpl {
     try {
       if (head[0] == '.') {
         parse_dot_card(head, tokens);
-        return;
-      }
-      switch (head[0]) {
-        case 'r': parse_resistor(tokens); break;
-        case 'c': parse_capacitor(tokens); break;
-        case 'l': parse_inductor(tokens); break;
-        case 'v': parse_source<VSource>(tokens); break;
-        case 'i': parse_source<ISource>(tokens); break;
-        case 'd': parse_diode(tokens); break;
-        case 'm': parse_fet(tokens); break;
-        case 'y': parse_mtj(tokens); break;
-        case 'e': parse_vcvs(tokens); break;
-        case 'g': parse_vccs(tokens); break;
-        case 'x': parse_instance(tokens); break;
-        default:
-          throw NetlistError(line_no_, "unknown card '" + tokens[0] + "'");
+      } else {
+        switch (head[0]) {
+          case 'r': parse_resistor(tokens); break;
+          case 'c': parse_capacitor(tokens); break;
+          case 'l': parse_inductor(tokens); break;
+          case 'v': parse_source<VSource>(tokens); break;
+          case 'i': parse_source<ISource>(tokens); break;
+          case 'd': parse_diode(tokens); break;
+          case 'm': parse_fet(tokens); break;
+          case 'y': parse_mtj(tokens); break;
+          case 'e': parse_vcvs(tokens); break;
+          case 'g': parse_vccs(tokens); break;
+          case 'x': parse_instance(tokens); break;
+          default:
+            throw NetlistError(line_no_, "unknown card '" + tokens[0] + "'");
+        }
       }
     } catch (const NetlistError&) {
       throw;  // already located (possibly on a subckt body line)
     } catch (const std::exception& e) {
       fail(e.what());
+    }
+    // Record successfully parsed scope-0 card lines for the hierarchical
+    // lint engine's reduced netlist (everything the engine re-parses
+    // verbatim; X cards are summarized instead, and .probe may reference
+    // instance-internal nodes that do not exist without the flattened
+    // instances).
+    if (scopes_.empty() && head[0] != 'x' && head != ".probe") {
+      out_.record_top_card(line, line_no);
     }
   }
 
@@ -193,14 +202,18 @@ class ParserImpl {
   // A port never mentioned in the definition body is dead: the instance node
   // wired to it stays unconnected inside the cell.  Recorded as a lint
   // diagnostic (not a parse error) so intentionally partial cells still load.
+  // Fires once per definition, attributed to the .subckt card's own line —
+  // never to whichever instance happened to parse last.  Node names inside a
+  // definition resolve against the port map case-insensitively (matching the
+  // card-letter convention), so a body's "bl" counts as use of port "BL".
   void diagnose_unused_ports(const SubcktDef& def) {
     std::unordered_set<std::string> used;
     for (const auto& [body_line, body_no] : def.body) {
       (void)body_no;
-      for (const auto& token : tokenize(body_line)) used.insert(token);
+      for (const auto& token : tokenize(body_line)) used.insert(lower(token));
     }
     for (const auto& port : def.ports) {
-      if (used.count(port)) continue;
+      if (used.count(lower(port))) continue;
       lint::Diagnostic d;
       d.rule = lint::rules::kSubcktUnusedPort;
       d.severity = lint::default_severity(d.rule);
@@ -210,6 +223,34 @@ class ParserImpl {
       d.line = def.def_line;
       out_.add_parse_diagnostic(std::move(d));
     }
+  }
+
+  // Mirrors the definition into the netlist's hierarchy record with its
+  // content hash (FNV-1a over name, ports, and body text), the per-definition
+  // key of the lint summary cache.
+  void record_subckt_info(const SubcktDef& def) {
+    SubcktInfo info;
+    info.name = def.name;
+    info.ports = def.ports;
+    info.def_line = def.def_line;
+    info.body = def.body;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string& s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+      }
+      h ^= static_cast<unsigned char>('\n');
+      h *= 1099511628211ull;
+    };
+    mix(def.name);
+    for (const auto& p : def.ports) mix(p);
+    for (const auto& [body_line, body_no] : def.body) {
+      (void)body_no;
+      mix(body_line);
+    }
+    info.content_hash = h == 0 ? 1 : h;
+    out_.record_subckt(std::move(info));
   }
 
   struct Scope {
@@ -248,7 +289,7 @@ class ParserImpl {
     if (name == "0" || name == "gnd") return "0";  // ground is global
     if (scopes_.empty()) return name;
     const Scope& scope = scopes_.back();
-    const auto found = scope.ports.find(name);
+    const auto found = scope.ports.find(lower(name));  // ports match any case
     return found != scope.ports.end() ? found->second : scope.prefix + name;
   }
 
@@ -493,12 +534,22 @@ class ParserImpl {
     }
     if (scopes_.size() >= 16) fail("subcircuit nesting too deep");
 
+    SubcktInstanceInfo inst;
+    inst.name = devname(t[0]);
+    inst.def = def.name;
+    inst.line = line_no_;
+    inst.depth = scopes_.size();
+
     Scope scope;
     scope.prefix = devname(t[0]) + ".";
     for (std::size_t k = 0; k < def.ports.size(); ++k) {
       // Map the local port name to the caller's (already resolved) node.
-      scope.ports.emplace(def.ports[k], resolve_node(t[1 + k]));
+      // Keys are lowercased: body references resolve case-insensitively.
+      const std::string bound = resolve_node(t[1 + k]);
+      inst.bindings.push_back(bound);
+      scope.ports.emplace(lower(def.ports[k]), bound);
     }
+    out_.record_instance(std::move(inst));
     scopes_.push_back(std::move(scope));
     const int saved_line = line_no_;
     for (const auto& [body_line, body_no] : def.body) {
@@ -666,6 +717,22 @@ int ParsedNetlist::device_line(const std::string& name) const {
 int ParsedNetlist::node_line(const std::string& name) const {
   const auto it = node_lines_.find(name);
   return it == node_lines_.end() ? -1 : it->second;
+}
+
+std::string ParsedNetlist::instance_path_of(const std::string& name) const {
+  // Longest recorded instance prefix wins, so "X3.X17.M2" maps to "X3/X17"
+  // while a helper companion like "M1.cgs" (no instance prefix) maps to "".
+  std::string probe = name;
+  for (;;) {
+    const auto dot = probe.rfind('.');
+    if (dot == std::string::npos) return "";
+    probe.resize(dot);
+    if (instance_prefixes_.count(probe + ".")) {
+      std::string path = probe;
+      std::replace(path.begin(), path.end(), '.', '/');
+      return path;
+    }
+  }
 }
 
 void ParsedNetlist::set_role_annotation(const std::string& device,

@@ -1,0 +1,65 @@
+#include "support/array_gen.h"
+
+#include <sstream>
+
+namespace nvsram::testsupport {
+
+std::string make_nvsram_array_netlist(int rows, int cols, ArrayDefect defect) {
+  std::ostringstream ss;
+  ss << "NV-SRAM " << rows << "x" << cols
+     << " array: write 1, store, power off, restore\n";
+
+  // Cell definition: the Fig. 2 full NV-SRAM cell from
+  // netlists/nvsram_cell_full.cir.
+  ss << ".subckt nvcell bl blb wl vvdd sr ctrl";
+  if (defect == ArrayDefect::kUnusedPort) ss << " spare";
+  ss << "\n"
+        "Mpu1 q  qb vvdd pfin\n"
+        "Mpd1 q  qb 0    nfin\n"
+        "Mpu2 qb q  vvdd pfin\n"
+        "Mpd2 qb q  0    nfin\n"
+        "Max1 bl  wl q  nfin\n"
+        "Max2 blb wl qb nfin\n"
+        "Mps1 q  sr y1 nfin\n"
+        "Y1   ctrl y1 P\n"
+        "Mps2 qb sr y2 nfin\n"
+        "Y2   ctrl y2 P\n";
+  if (defect == ArrayDefect::kFloatNode) ss << "Cf   fn q 1f\n";
+  if (defect == ArrayDefect::kBadValue) ss << "Dleak q 0 is=-1e-15\n";
+  ss << ".ends\n";
+
+  // Shared supply, power switch, and store/restore schedule (verbatim from
+  // the single-cell deck: super-cutoff window 60.5n..2105n).
+  ss << "Vdd  vdd 0 DC 0.9\n"
+        "Vpg  pg  0 PWL(60n 0 60.5n 1.0 2105n 1.0 2105.5n 0)\n"
+        "Mpsw vvdd pg vdd pfin fins=7 vth=0.40\n"
+        "Vsr  sr  0 PWL(10n 0 10.2n 0.65 58n 0.65 58.2n 0 2105n 0 2105.2n"
+        " 0.65 2112n 0.65 2112.2n 0)\n"
+        "Vctl ctrl 0 PWL(10n 0 34n 0 34.2n 0.5 58n 0.5 58.2n 0)\n";
+
+  // Per-row wordline straps and per-column bit-line pairs.
+  for (int r = 0; r < rows; ++r) {
+    ss << "Vwl" << r << " wl" << r << " 0 PULSE(0 0.9 1n 50p 50p 2n)\n";
+  }
+  for (int c = 0; c < cols; ++c) {
+    ss << "Vbl" << c << " bl" << c << " 0 DC 0.9\n";
+    ss << "Vblb" << c << " blb" << c
+       << " 0 PWL(0.5n 0.9 0.6n 0 3.4n 0 3.5n 0.9)\n";
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ss << "X" << r << "_" << c << " bl" << c << " blb" << c << " wl" << r
+         << " vvdd sr ctrl";
+      if (defect == ArrayDefect::kUnusedPort) ss << " vdd";
+      ss << " nvcell\n";
+    }
+  }
+
+  ss << ".probe v(vvdd)\n"
+        ".tran 2120n 10n\n"
+        ".end\n";
+  return ss.str();
+}
+
+}  // namespace nvsram::testsupport

@@ -1,0 +1,301 @@
+// Differential suite for the hierarchical summary-based lint engine
+// (lint/hier/): on every corpus deck, fixture, and generated array,
+// lint_netlist_hier must produce exactly the same (rule, severity) count
+// multiset as the flat lint_netlist — the engine is only allowed to be
+// faster, never different.  Clean generated arrays must additionally take
+// the composed fast path (a silent fallback would erase the speedup the
+// benchmark and CI gate assert).
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/hier/hier_linter.h"
+#include "lint/hier/summary.h"
+#include "lint/lint_cache.h"
+#include "lint/linter.h"
+#include "lint/report.h"
+#include "spice/netlist_parser.h"
+#include "support/array_gen.h"
+
+namespace {
+
+using nvsram::lint::Diagnostic;
+using nvsram::lint::LintOptions;
+using nvsram::lint::LintReport;
+using nvsram::lint::Severity;
+using nvsram::spice::NetlistParser;
+using nvsram::spice::ParsedNetlist;
+using nvsram::testsupport::ArrayDefect;
+using nvsram::testsupport::make_nvsram_array_netlist;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// (rule, severity) -> count; the verdict-identity contract of the engine.
+std::map<std::pair<std::string, int>, int> verdict(const LintReport& report) {
+  std::map<std::pair<std::string, int>, int> out;
+  for (const auto& d : report.diagnostics()) {
+    ++out[{d.rule, static_cast<int>(d.severity)}];
+  }
+  return out;
+}
+
+std::string verdict_to_string(
+    const std::map<std::pair<std::string, int>, int>& v) {
+  std::ostringstream ss;
+  for (const auto& [key, count] : v) {
+    ss << key.first << "/sev" << key.second << " x" << count << "\n";
+  }
+  return ss.str();
+}
+
+void expect_identical(const std::string& text, const std::string& label,
+                      const LintOptions& options = {}) {
+  NetlistParser parser;
+  std::unique_ptr<ParsedNetlist> nl;
+  try {
+    nl = parser.parse(text);
+  } catch (const std::exception&) {
+    return;  // unparsable decks never reach either engine
+  }
+  const LintReport flat = nvsram::lint::lint_netlist(*nl, options);
+  const LintReport hier = nvsram::lint::lint_netlist_hier(*nl, options);
+  EXPECT_EQ(verdict(flat), verdict(hier))
+      << label << ": flat vs hierarchical verdicts diverge\nflat:\n"
+      << verdict_to_string(verdict(flat)) << "hier:\n"
+      << verdict_to_string(verdict(hier)) << "fallback reason: "
+      << nvsram::lint::hier::last_fallback_reason();
+}
+
+// ---- corpus: netlists/ + tests/netlists_bad/ -----------------------------
+
+TEST(HierLintDifferential, SampleNetlists) {
+  const std::vector<std::string> decks = {
+      "mtj_sense.cir", "nvsram_cell_full.cir", "nvsram_store.cir",
+      "rc_bode.cir",   "sram_latch.cir",
+  };
+  for (const auto& name : decks) {
+    expect_identical(read_file(std::string(NVSRAM_NETLIST_DIR) + "/" + name),
+                     name);
+  }
+}
+
+TEST(HierLintDifferential, BadFixtures) {
+  const std::vector<std::string> decks = {
+      "bad_card_unresolved.cir",
+      "bad_clock_store.cir",
+      "bad_cross_coupling.cir",
+      "bad_dangling_branch.cir",
+      "bad_data_lost.cir",
+      "bad_data_read_before_restore.cir",
+      "bad_data_redundant_store.cir",
+      "bad_data_stale_restore.cir",
+      "bad_data_store_truncated.cir",
+      "bad_disconnected_block.cir",
+      "bad_domain_floating.cir",
+      "bad_float_node.cir",
+      "bad_jc_units.cir",
+      "bad_missing_isolation.cir",
+      "bad_mtj_orientation.cir",
+      "bad_no_dc_path.cir",
+      "bad_nof_store_missing.cir",
+      "bad_nonphysical_value.cir",
+      "bad_pwl_nonmonotonic.cir",
+      "bad_restore_order.cir",
+      "bad_self_connected.cir",
+      "bad_shared_rail.cir",
+      "bad_shutdown_short.cir",
+      "bad_sleep_retention.cir",
+      "bad_sneak_path.cir",
+      "bad_store_gate_overlap.cir",
+      "bad_store_short.cir",
+      "bad_structural_singular.cir",
+      "bad_subckt_unused_port.cir",
+      "bad_time_scale.cir",
+      "bad_units_dimension.cir",
+      "bad_voltage_range.cir",
+      "bad_vsource_loop.cir",
+      "bad_vsource_shorted.cir",
+      "bad_wl_in_off_window.cir",
+      "bad_wl_precharge_overlap.cir",
+  };
+  for (const auto& name : decks) {
+    expect_identical(
+        read_file(std::string(NVSRAM_BAD_NETLIST_DIR) + "/" + name), name);
+  }
+}
+
+// ---- architecture bench decks (NVPG / NOF / OSR schedules) ---------------
+// The generated array deck carries the NVPG-style store/gate/restore
+// schedule; the .arch card switches the protocol pass's state machine, so
+// one deck per architecture exercises all three temporal rule sets through
+// both engines.
+
+TEST(HierLintDifferential, ArchBenchDecks) {
+  for (const char* arch : {"nvpg", "nof", "osr"}) {
+    std::string deck = make_nvsram_array_netlist(2, 2);
+    deck += ".arch " + std::string(arch) + "\n";
+    expect_identical(deck, std::string("array 2x2 .arch ") + arch);
+  }
+}
+
+// ---- generated arrays: clean + defect variants ---------------------------
+
+TEST(HierLintDifferential, CleanArrays) {
+  for (const int n : {4, 16, 64}) {
+    expect_identical(make_nvsram_array_netlist(n, n),
+                     "clean array " + std::to_string(n) + "x" +
+                         std::to_string(n));
+  }
+}
+
+TEST(HierLintDifferential, DefectArrays) {
+  expect_identical(make_nvsram_array_netlist(16, 16, ArrayDefect::kFloatNode),
+                   "float-node array 16x16");
+  expect_identical(make_nvsram_array_netlist(16, 16, ArrayDefect::kUnusedPort),
+                   "unused-port array 16x16");
+  expect_identical(make_nvsram_array_netlist(16, 16, ArrayDefect::kBadValue),
+                   "bad-value array 16x16");
+}
+
+TEST(HierLintDifferential, OptionsRespected) {
+  LintOptions opt;
+  opt.disable(nvsram::lint::rules::kFloatNode);
+  opt.min_severity = Severity::kWarning;
+  expect_identical(make_nvsram_array_netlist(4, 4, ArrayDefect::kFloatNode),
+                   "float-node array 4x4, float-node disabled", opt);
+}
+
+// ---- fast path engagement ------------------------------------------------
+
+TEST(HierLintFastPath, CleanArraysCompose) {
+  for (const int n : {4, 16}) {
+    NetlistParser parser;
+    auto nl = parser.parse(make_nvsram_array_netlist(n, n));
+    (void)nvsram::lint::lint_netlist_hier(*nl);
+    EXPECT_TRUE(nvsram::lint::hier::last_run_used_fast_path())
+        << n << "x" << n << " fell back: "
+        << nvsram::lint::hier::last_fallback_reason();
+  }
+}
+
+TEST(HierLintFastPath, DefectArrayStillComposes) {
+  // A definition-local value fault leaves every structural certificate
+  // intact; the defect replicates through the summary, not through a flat
+  // fallback.
+  NetlistParser parser;
+  auto nl =
+      parser.parse(make_nvsram_array_netlist(4, 4, ArrayDefect::kBadValue));
+  const LintReport report = nvsram::lint::lint_netlist_hier(*nl);
+  EXPECT_TRUE(nvsram::lint::hier::last_run_used_fast_path())
+      << nvsram::lint::hier::last_fallback_reason();
+  int value_diags = 0;
+  for (const auto& d : report.diagnostics()) {
+    if (d.rule == nvsram::lint::rules::kNonphysicalValue) ++value_diags;
+  }
+  EXPECT_EQ(value_diags, 16) << "one replicated finding per instance";
+}
+
+TEST(HierLintFastPath, StructureBreakingDefectFallsBack) {
+  // A dangling in-definition node breaks the internal-diagonal certificate
+  // (and the flat pass really does emit structural findings for it), so the
+  // engine must decline to compose — verdict identity over speed.
+  NetlistParser parser;
+  auto nl =
+      parser.parse(make_nvsram_array_netlist(4, 4, ArrayDefect::kFloatNode));
+  const LintReport flat = nvsram::lint::lint_netlist(*nl);
+  const LintReport hier = nvsram::lint::lint_netlist_hier(*nl);
+  EXPECT_FALSE(nvsram::lint::hier::last_run_used_fast_path());
+  EXPECT_EQ(verdict(flat), verdict(hier));
+}
+
+TEST(HierLintFastPath, NestedInstancesFallBack) {
+  const char* deck =
+      "nested subckt deck\n"
+      ".subckt inner a b\n"
+      "R1 a b 1k\n"
+      ".ends\n"
+      ".subckt outer p q\n"
+      "X1 p q inner\n"
+      ".ends\n"
+      "V1 top 0 DC 1.0\n"
+      "Xo top 0x gnd2 outer\n"
+      "R2 gnd2 0 1k\n"
+      ".end\n";
+  NetlistParser parser;
+  std::unique_ptr<ParsedNetlist> nl;
+  try {
+    nl = parser.parse(deck);
+  } catch (const std::exception&) {
+    GTEST_SKIP() << "nested deck not parsable in this grammar";
+  }
+  const LintReport flat = nvsram::lint::lint_netlist(*nl);
+  const LintReport hier = nvsram::lint::lint_netlist_hier(*nl);
+  EXPECT_FALSE(nvsram::lint::hier::last_run_used_fast_path());
+  EXPECT_EQ(verdict(flat), verdict(hier));
+}
+
+// ---- summary cache -------------------------------------------------------
+
+TEST(HierLintCache, SummariesHitAcrossDecks) {
+  nvsram::lint::lint_cache_clear();
+  NetlistParser parser;
+  auto small = parser.parse(make_nvsram_array_netlist(2, 2));
+  auto large = parser.parse(make_nvsram_array_netlist(4, 4));
+  (void)nvsram::lint::lint_netlist_hier(*small);
+  const auto after_first = nvsram::lint::lint_cache_stats();
+  EXPECT_EQ(after_first.summary_entries, 1u);
+  (void)nvsram::lint::lint_netlist_hier(*large);
+  const auto after_second = nvsram::lint::lint_cache_stats();
+  // Same definition text in both decks: the second deck reuses the summary.
+  EXPECT_EQ(after_second.summary_entries, 1u);
+  EXPECT_GT(after_second.summary_hits, after_first.summary_hits);
+}
+
+// ---- subckt-unused-port attribution (regression) -------------------------
+// The unused-port diagnostic must fire once per definition, attributed to
+// the .subckt card's line, and must treat port references in the body
+// case-insensitively (ports resolve case-insensitively, so "BL" used as
+// "bl" is not unused).
+
+TEST(SubcktUnusedPort, AttributionAndCaseFolding) {
+  const char* deck =
+      "unused port attribution\n"
+      ".subckt cell BL wl nc\n"
+      "R1 bl wl 1k\n"
+      ".ends\n"
+      "V1 a 0 DC 1.0\n"
+      "X1 a b c cell\n"
+      "X2 a b c cell\n"
+      "R9 b 0 1k\n"
+      "R8 c 0 1k\n"
+      ".end\n";
+  NetlistParser parser;
+  auto nl = parser.parse(deck);
+  const LintReport report = nvsram::lint::lint_netlist(*nl);
+  std::vector<const Diagnostic*> unused;
+  for (const auto& d : report.diagnostics()) {
+    if (d.rule == nvsram::lint::rules::kSubcktUnusedPort) unused.push_back(&d);
+  }
+  ASSERT_EQ(unused.size(), 1u)
+      << "one finding per definition, not per instance";
+  // "BL" is referenced as "bl" in the body: only "nc" is unused.
+  EXPECT_NE(unused[0]->message.find("'nc'"), std::string::npos)
+      << unused[0]->message;
+  EXPECT_EQ(unused[0]->message.find("'BL'"), std::string::npos)
+      << unused[0]->message;
+  EXPECT_EQ(unused[0]->line, 2) << "attributed to the .subckt card line";
+}
+
+}  // namespace
